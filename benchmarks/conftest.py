@@ -1,0 +1,28 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one of the paper's tables or figures.  They are
+*result* benchmarks, not micro-benchmarks: each runs its experiment once
+(``benchmark.pedantic(rounds=1)``) and prints the paper-style rows so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+report.  EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a block so it survives pytest's capture (shown with -s)."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text + "\n")
+
+    return _print

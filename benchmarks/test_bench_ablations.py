@@ -1,0 +1,55 @@
+"""Bench: ablations of the design choices DESIGN.md calls out.
+
+* credit-based preemption vs stop-and-wait (§4.2)
+* tensor partitioning on/off (§2.2)
+* crossing the global barrier (§3.4)
+* PS sharding strategies (§6.2 load balancing)
+"""
+
+from conftest import run_once
+
+from repro.experiments import ablations
+
+
+def test_bench_ablation_credit(benchmark, report):
+    result = run_once(benchmark, ablations.credit_ablation, machines=4, measure=2)
+    report(ablations.format_ablation(result))
+    assert result.speeds["tuned credit"] > result.speeds["stop-and-wait (credit=δ)"]
+    assert result.speeds["credit=2δ"] > result.speeds["stop-and-wait (credit=δ)"]
+
+
+def test_bench_ablation_partition(benchmark, report):
+    result = run_once(benchmark, ablations.partition_ablation, machines=4, measure=2)
+    report(ablations.format_ablation(result))
+    assert result.gain("partitioned (tuned δ)", "whole tensors") > 0.10
+
+
+def test_bench_ablation_barrier(benchmark, report):
+    result = run_once(benchmark, ablations.barrier_ablation, machines=4, measure=2)
+    report(ablations.format_ablation(result))
+    crossed = result.speeds["scheduled, barrier crossed"]
+    kept = result.speeds["scheduled, barrier kept"]
+    base = result.speeds["baseline (FIFO + barrier)"]
+    # §3.4: the barrier makes in-engine scheduling largely ineffective.
+    assert crossed > kept
+    assert crossed > base * 1.2
+
+
+def test_bench_ablation_sharding(benchmark, report):
+    result = run_once(benchmark, ablations.sharding_ablation, machines=4, measure=2)
+    report(ablations.format_ablation(result))
+    naive = result.speeds["whole-tensor round robin"]
+    chunked = result.speeds["chunk round robin"]
+    # §6.2: partition-level placement balances PS load "very well".
+    assert chunked > naive * 1.3
+
+
+def test_bench_ablation_fusion(benchmark, report):
+    """Tensor fusion vs partitioning: on a sync-dominated workload
+    (many small tensors, 64-rank ring) Horovod's fusion wins — the two
+    techniques are complementary, as §8 frames related work."""
+    result = run_once(benchmark, ablations.fusion_ablation, machines=8, measure=3)
+    report(ablations.format_ablation(result))
+    fused = result.speeds["horovod fusion (64 MB buffer)"]
+    plain = result.speeds["per-tensor FIFO (no fusion)"]
+    assert fused > plain * 1.1

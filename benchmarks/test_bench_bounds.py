@@ -1,0 +1,23 @@
+"""Bench: §4.1 bounds check — simulated gap vs the analytic bound.
+
+The measured ByteScheduler iteration time must stay within the
+Theorem-1 ideal plus the partition/overhead delay bound.
+"""
+
+from conftest import run_once
+
+from repro.experiments import bounds_check
+
+
+def test_bench_bounds(benchmark, report):
+    check = run_once(
+        benchmark,
+        bounds_check.run,
+        machines=4,
+        partitions_mb=(4, 8, 16, 32, 64),
+        measure=2,
+    )
+    report(bounds_check.format_result(check))
+    assert all(check.within_bound())
+    # The measured time is also never below the ideal (it is a bound).
+    assert all(measured >= check.ideal * 0.999 for measured in check.measured)

@@ -1,0 +1,30 @@
+"""Bench: §7 co-scheduling — two jobs sharing one cluster's network.
+
+Paper (§7): "The performance impact is not negligible when the shared
+resource is the bottleneck"; cooperative cross-job scheduling is left
+as future work.  This bench quantifies the interference ByteScheduler
+cannot remove on its own.
+"""
+
+from conftest import run_once
+
+from repro.experiments import coscheduling
+
+
+def test_bench_coscheduling(benchmark, report):
+    result = run_once(benchmark, coscheduling.run, machines=4, measure=4)
+    report(coscheduling.format_result(result))
+
+    for kind in ("fifo", "bytescheduler"):
+        for model in (result.model_a, result.model_b):
+            slowdown = result.slowdown(kind, model)
+            # Sharing always costs something, but never deadlocks or
+            # starves a job outright.
+            assert -0.05 <= slowdown <= 0.9, (kind, model)
+    # The network-bound pair suffers non-negligible interference.
+    worst = max(
+        result.slowdown(kind, model)
+        for kind in ("fifo", "bytescheduler")
+        for model in (result.model_a, result.model_b)
+    )
+    assert worst > 0.1

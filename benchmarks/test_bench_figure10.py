@@ -1,0 +1,39 @@
+"""Bench: Figure 10 — VGG16 across the five setups and 8-64 GPUs.
+
+Paper speedup bands: MXNet PS TCP 80-94%, MXNet PS RDMA 97-125%,
+TensorFlow PS TCP 170-196%, MXNet NCCL RDMA 14-20%, PyTorch NCCL TCP
+7-13%; plus the P3 line on MXNet PS TCP.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure10_12
+
+
+def test_bench_figure10_vgg16(benchmark, report):
+    grid = run_once(
+        benchmark,
+        figure10_12.run_model,
+        "vgg16",
+        machines_list=(1, 2, 4, 8),
+        measure=3,
+        include_p3=True,
+        p3_measure=2,
+    )
+    report(figure10_12.format_model_grid(grid))
+
+    by_label = {subplot.label: subplot for subplot in grid.setups}
+    # ByteScheduler accelerates every setup at scale.
+    for subplot in grid.setups:
+        assert subplot.speedups()[-1] > 0.02, subplot.label
+    # PS gains exceed all-reduce gains (§6.2).
+    assert (
+        by_label["mxnet-ps-rdma"].speedups()[-1]
+        > by_label["mxnet-allreduce-rdma"].speedups()[-1]
+    )
+    # ByteScheduler beats P3 wherever P3 runs.
+    tcp = by_label["mxnet-ps-tcp"]
+    assert all(bs > p3 for bs, p3 in zip(tcp.bytescheduler, tcp.p3))
+    # NCCL baselines already sit near linear scaling.
+    nccl = by_label["mxnet-allreduce-rdma"]
+    assert nccl.baseline[-1] > 0.6 * nccl.linear[-1]

@@ -1,0 +1,33 @@
+"""Bench: Figure 11 — ResNet50 across the five setups and 8-64 GPUs.
+
+Paper: the smallest gains of the three models (ResNet50 is compute
+bound at 100 Gbps) — MXNet PS RDMA only 6-16%, NCCL RDMA 1-7%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure10_12
+
+
+def test_bench_figure11_resnet50(benchmark, report):
+    grid = run_once(
+        benchmark,
+        figure10_12.run_model,
+        "resnet50",
+        machines_list=(1, 2, 4, 8),
+        measure=3,
+        include_p3=True,
+        p3_measure=2,
+    )
+    report(figure10_12.format_model_grid(grid))
+
+    by_label = {subplot.label: subplot for subplot in grid.setups}
+    # Never meaningfully slower anywhere.
+    for subplot in grid.setups:
+        low, _high = figure10_12.speedup_band(subplot)
+        assert low > -0.02, subplot.label
+    # ResNet50 on RDMA sits close to linear already: gains are small.
+    rdma = by_label["mxnet-ps-rdma"]
+    assert max(rdma.speedups()) < 0.60
+    nccl = by_label["mxnet-allreduce-rdma"]
+    assert max(nccl.speedups()) < 0.30

@@ -1,0 +1,39 @@
+"""Bench: Figure 13 — bandwidth sweep with fixed vs tuned scheduler.
+
+Paper: the tuned scheduler wins at every bandwidth; the fixed scheduler
+(knobs frozen at their 1 Gbps values) can even lose to the baseline;
+ResNet50's gains are large below 25 Gbps and fade by 100 Gbps.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure13
+
+
+def run_sweeps():
+    return figure13.run(
+        models=("vgg16", "resnet50"),
+        archs=("ps", "allreduce"),
+        machines=4,
+        measure=2,
+        tuning_trials=8,
+    )
+
+
+def test_bench_figure13(benchmark, report):
+    sweeps = run_once(benchmark, run_sweeps)
+    report(figure13.format_result(sweeps))
+
+    for sweep in sweeps:
+        # Tuned never loses to fixed (it is re-tuned per bandwidth).
+        assert all(t >= f * 0.999 for t, f in zip(sweep.tuned, sweep.fixed))
+        # Tuned beats the baseline at every bandwidth for VGG16-PS.
+        if sweep.model == "vgg16" and sweep.arch == "ps":
+            assert all(
+                t > b for t, b in zip(sweep.tuned, sweep.baseline)
+            )
+    # ResNet50-PS: big gains at low bandwidth, small at 100 Gbps.
+    resnet_ps = next(s for s in sweeps if s.model == "resnet50" and s.arch == "ps")
+    gain_low = resnet_ps.tuned[0] / resnet_ps.baseline[0] - 1.0
+    gain_high = resnet_ps.tuned[-1] / resnet_ps.baseline[-1] - 1.0
+    assert gain_low > gain_high - 0.02

@@ -1,0 +1,14 @@
+"""Bench: Figure 2 — the contrived 3-layer scheduling example.
+
+Paper: a better schedule plus tensor partitioning beats FIFO by 44.4%.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure2
+
+
+def test_bench_figure2(benchmark, report):
+    result = run_once(benchmark, figure2.run)
+    report(figure2.format_result(result))
+    assert 0.30 <= result.speedup <= 0.60

@@ -1,0 +1,30 @@
+"""Bench: Figure 4 — FIFO speed vs partition size and credit size.
+
+Paper: both knobs matter, and much more at 10 Gbps than at 1 Gbps —
+the motivation for auto-tuning (§2.3).
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(benchmark, report):
+    result = run_once(
+        benchmark,
+        figure4.run,
+        machines=2,
+        measure=2,
+        sizes_kb=(100, 160, 250, 400, 550, 700),
+    )
+    report(figure4.format_result(result))
+
+    partition_10g = result.partition_curves[10.0]
+    assert partition_10g.y[-1] > partition_10g.y[0]  # overhead shrinks
+    credit_10g = result.credit_curves[10.0]
+    assert credit_10g.y[-1] > credit_10g.y[0]  # window fills the pipe
+    # The 1 Gbps lines are comparatively flat.
+    partition_1g = result.partition_curves[1.0]
+    low_gain = partition_1g.y[-1] / partition_1g.y[0] - 1.0
+    high_gain = partition_10g.y[-1] / partition_10g.y[0] - 1.0
+    assert high_gain > low_gain

@@ -1,0 +1,24 @@
+"""Bench: Figure 9 — a Bayesian Optimization search trace.
+
+Paper: 7 profiled samples suffice for the GP posterior to localise the
+best credit size for VGG16 on MXNet all-reduce.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure9
+
+
+def test_bench_figure9(benchmark, report):
+    result = run_once(benchmark, figure9.run, machines=4, samples=7, measure=2)
+    report(figure9.format_result(result))
+
+    # The trace localises a clear winner...
+    assert max(result.sample_speeds) > 1.02 * min(result.sample_speeds)
+    # ...and the posterior CI band is well-formed everywhere.
+    assert all(
+        low <= mid <= high
+        for low, mid, high in zip(
+            result.ci_low, result.posterior_mean, result.ci_high
+        )
+    )

@@ -1,0 +1,35 @@
+"""Bench: §6.2 P3 comparison and the extra-models paragraph.
+
+Paper: ByteScheduler outperforms P3 by 28-43% across the three
+benchmark models (MXNet PS TCP); AlexNet gains 96% and VGG19 60% on
+32-GPU MXNet PS RDMA.
+"""
+
+from conftest import run_once
+
+from repro.experiments import extra
+
+
+def run_both():
+    comparison = extra.run_p3_comparison(
+        models=("vgg16", "resnet50", "transformer"), machines=4, measure=2
+    )
+    models = extra.run_extra_models(models=("alexnet", "vgg19"), machines=4, measure=2)
+    return comparison, models
+
+
+def test_bench_p3_and_extra_models(benchmark, report):
+    comparison, models = run_once(benchmark, run_both)
+    report(extra.format_p3(comparison) + "\n\n" + extra.format_extra_models(models))
+
+    for model, row in comparison.rows.items():
+        assert row["p3"] > row["baseline"] * 0.95, model  # P3 is no loss
+        assert row["bytescheduler"] >= row["p3"], model  # BS never loses
+    # On the communication-bound models the advantage is substantial
+    # (paper: 28%-43%); our ResNet50 is compute-bound at 100 Gbps, so
+    # both schedulers sit at the compute ceiling there.
+    assert comparison.advantage("vgg16") > 0.15
+    assert comparison.advantage("transformer") > 0.02
+    # Both §6.2 extra models gain substantially (paper: +96% / +60%).
+    assert models.speedups["alexnet"] > 0.3
+    assert models.speedups["vgg19"] > 0.3

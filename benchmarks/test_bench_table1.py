@@ -1,0 +1,36 @@
+"""Bench: Table 1 — best partition and credit sizes per model/arch.
+
+Paper structure: NCCL's tuned knobs are an order of magnitude larger
+than PS's (56-88 MB vs 3-6 MB partitions), and the best values differ
+between models.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def run_table():
+    return table1.run(
+        models=("vgg16", "resnet50", "transformer"),
+        archs=("ps", "allreduce"),
+        machines=4,
+        trials=10,
+    )
+
+
+def test_bench_table1(benchmark, report):
+    result = run_once(benchmark, run_table)
+    report(table1.format_result(result))
+
+    for model in ("vgg16", "resnet50", "transformer"):
+        # NCCL wants (much) larger partitions than PS.
+        assert result.partition_mb("allreduce", model) > result.partition_mb("ps", model)
+        # Credit is at least the partition (a window of >= 1).
+        assert result.credit_mb("ps", model) >= result.partition_mb("ps", model)
+    # The best configurations differ across models.
+    ps_partitions = {
+        round(result.partition_mb("ps", model), 1)
+        for model in ("vgg16", "resnet50", "transformer")
+    }
+    assert len(ps_partitions) >= 2

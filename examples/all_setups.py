@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""The paper's generality claim, end to end.
+
+Runs one model through all five evaluation setups of §6.1 — three
+frameworks (MXNet / TensorFlow / PyTorch), two gradient-synchronisation
+architectures (PS / ring all-reduce), two transports (TCP / RDMA) —
+with the *same* scheduler Core, and reports the per-setup speedups.
+
+Run:  python examples/all_setups.py [model]
+"""
+
+import sys
+
+from repro.experiments import PAPER_SETUPS, format_table
+from repro.experiments.common import (
+    baseline_speed,
+    bytescheduler_speed,
+    setup_cluster,
+)
+from repro.training import linear_scaling_speed
+
+
+def main(model: str = "vgg16", machines: int = 4) -> None:
+    print(f"model={model}, {machines} machines x 8 GPUs, 100 Gbps\n")
+    rows = []
+    for framework, arch, transport in PAPER_SETUPS:
+        cluster = setup_cluster(framework, arch, transport, machines)
+        base = baseline_speed(model, cluster, measure=3)
+        tuned = bytescheduler_speed(model, cluster, measure=3)
+        linear = linear_scaling_speed(model, cluster)
+        rows.append(
+            [
+                f"{framework} {arch} {transport}",
+                base,
+                tuned,
+                linear,
+                f"+{(tuned / base - 1) * 100:.0f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["setup", "baseline", "bytescheduler", "linear", "speedup"],
+            rows,
+            title="One scheduler, five framework/architecture/transport combinations:",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(*(sys.argv[1:2] or ["vgg16"]))

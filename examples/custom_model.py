@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scheduling a custom model, with a timeline inspection.
+
+Shows the library as a downstream user would adopt it: describe your
+own DNN (per-layer tensor sizes and compute times), run it under both
+schedulers, and inspect the network timeline the trace recorded —
+including the priority inversions FIFO suffers and ByteScheduler fixes.
+
+Run:  python examples/custom_model.py
+"""
+
+from repro.models import custom_model
+from repro.sim import utilization
+from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+from repro.units import MB
+
+
+def build_my_model():
+    """An MLP-ish model with one dominant tensor in the middle."""
+    return custom_model(
+        layer_bytes=[6 * MB, 2 * MB, 96 * MB, 12 * MB, 1 * MB],
+        fp_times=[0.002, 0.003, 0.004, 0.003, 0.001],
+        bp_times=[0.004, 0.006, 0.008, 0.006, 0.002],
+        batch_size=64,
+        name="my-mlp",
+    )
+
+
+def run(scheduler: SchedulerSpec):
+    model = build_my_model()
+    cluster = ClusterSpec(
+        machines=2, gpus_per_machine=4, bandwidth_gbps=25,
+        transport="rdma", arch="ps", framework="mxnet",
+    )
+    job = TrainingJob(model, cluster, scheduler, enable_trace=True)
+    result = job.run(measure=5, warmup=2)
+    return job, result
+
+
+def main() -> None:
+    model = build_my_model()
+    print(f"model: {model!r}\n")
+
+    fifo_job, fifo = run(SchedulerSpec(kind="fifo"))
+    tuned_job, tuned = run(
+        SchedulerSpec(kind="bytescheduler", partition_bytes=2 * MB, credit_bytes=12 * MB)
+    )
+    print(f"fifo          : {fifo.summary()}")
+    print(f"bytescheduler : {tuned.summary()}")
+    print(f"speedup       : +{tuned.speedup_over(fifo) * 100:.0f}%\n")
+
+    # Inspect the trace: worker w0's uplink utilisation over the run.
+    for name, job, result in (("fifo", fifo_job, fifo), ("bytescheduler", tuned_job, tuned)):
+        spans = [
+            span
+            for span in job.trace.by_category("link")
+            if span.name == "w0.up"
+        ]
+        window_start = result.markers["w0"][1]
+        window_end = result.markers["w0"][-1]
+        busy = utilization(spans, window_start, window_end)
+        print(
+            f"{name:14}: w0 uplink utilisation {busy * 100:.0f}% over the "
+            f"measured window ({len(spans)} transmissions traced)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Online re-tuning while training runs (the paper's §7 direction).
+
+Starts a VGG16 all-reduce job on deliberately terrible knobs, then lets
+the OnlineTuner re-tune from newly profiled iterations — no restart
+needed for all-reduce (§5) — and prints the recovery trajectory.
+
+Run:  python examples/online_tuning.py
+"""
+
+from repro.models import get_model
+from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+from repro.tuning import OnlineTuner, SearchSpace
+from repro.units import MB
+
+
+def main() -> None:
+    cluster = ClusterSpec(
+        machines=4, arch="allreduce", transport="rdma", framework="mxnet"
+    )
+    # Deliberately awful starting point: PS-sized partitions on NCCL.
+    job = TrainingJob(
+        get_model("vgg16"),
+        cluster,
+        SchedulerSpec(kind="bytescheduler", partition_bytes=1 * MB, credit_bytes=2 * MB),
+    )
+    tuner = OnlineTuner(
+        job,
+        space=SearchSpace(4 * MB, 256 * MB, 8 * MB, 1024 * MB),
+        segment_iterations=2,
+        seed=0,
+    )
+    result = tuner.run(segments=8, final_iterations=4)
+
+    print("online tuning trajectory (training never stopped):")
+    for index, ((partition, credit), speed) in enumerate(result.segments, 1):
+        print(
+            f"  segment {index}: partition {partition / MB:6.1f} MB, "
+            f"credit {credit / MB:7.1f} MB -> {speed:9,.0f} images/s"
+        )
+    print(
+        f"\nfinal speed {result.final_speed:,.0f} images/s on "
+        f"({result.best_point[0] / MB:.1f} MB, {result.best_point[1] / MB:.1f} MB) "
+        f"— {result.final_speed / result.segments[0][1]:.2f}x the first segment"
+    )
+
+
+if __name__ == "__main__":
+    main()

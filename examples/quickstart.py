@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: accelerate one training job with ByteScheduler.
+
+Builds the paper's flagship scenario — VGG16 on 4 machines × 8 GPUs
+with a parameter server over 100 Gbps RDMA — and compares the vanilla
+framework against ByteScheduler with tuned knobs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments import tuned_knobs
+from repro.training import (
+    ClusterSpec,
+    SchedulerSpec,
+    linear_scaling_speed,
+    run_experiment,
+)
+
+
+def main() -> None:
+    cluster = ClusterSpec(
+        machines=4,              # 4 worker machines (+ 4 parameter servers)
+        gpus_per_machine=8,      # 32 GPUs total
+        bandwidth_gbps=100,
+        transport="rdma",
+        arch="ps",
+        framework="mxnet",
+    )
+
+    print(f"cluster: {cluster.label}")
+
+    baseline = run_experiment("vgg16", cluster, SchedulerSpec(kind="fifo"))
+    print(f"baseline       : {baseline.summary()}")
+
+    partition, credit = tuned_knobs("vgg16", cluster.arch, cluster.transport)
+    tuned = run_experiment(
+        "vgg16",
+        cluster,
+        SchedulerSpec(
+            kind="bytescheduler",
+            partition_bytes=partition,
+            credit_bytes=credit,
+        ),
+    )
+    print(f"bytescheduler  : {tuned.summary()}")
+
+    linear = linear_scaling_speed("vgg16", cluster)
+    print(f"linear scaling : {linear:,.0f} images/s")
+
+    speedup = tuned.speedup_over(baseline)
+    print(
+        f"\nByteScheduler speedup: +{speedup * 100:.0f}% "
+        f"({tuned.speed / linear * 100:.0f}% of linear scaling, "
+        f"baseline was {baseline.speed / linear * 100:.0f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

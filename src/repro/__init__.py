@@ -1,0 +1,19 @@
+"""ByteScheduler reproduction (SOSP 2019).
+
+A generic communication scheduler for distributed DNN training, rebuilt
+on top of a deterministic discrete-event simulated GPU cluster.  The
+public entry points most users need:
+
+* :func:`repro.training.run_experiment` — assemble a cluster, model,
+  framework engine, communication backend, and scheduler, and measure
+  training speed.
+* :class:`repro.core.ByteSchedulerCore` — the paper's Algorithm 1.
+* :class:`repro.tuning.AutoTuner` — Bayesian-Optimization auto-tuning of
+  partition and credit sizes.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

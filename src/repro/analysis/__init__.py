@@ -1,0 +1,33 @@
+"""Analytic companions to the scheduler: Theorem-1 ideal and §4.1 bounds."""
+
+from repro.analysis.bounds import (
+    allreduce_delay_bound,
+    best_partition_by_bound,
+    bound_curve,
+    ps_delay_bound,
+)
+from repro.analysis.optimal import (
+    FluidFlow,
+    fluid_priority_schedule,
+    ideal_iteration_time,
+)
+from repro.analysis.timeline import (
+    IterationBreakdown,
+    analyze_worker,
+    ascii_gantt,
+    format_breakdown,
+)
+
+__all__ = [
+    "ideal_iteration_time",
+    "fluid_priority_schedule",
+    "FluidFlow",
+    "ps_delay_bound",
+    "allreduce_delay_bound",
+    "bound_curve",
+    "best_partition_by_bound",
+    "IterationBreakdown",
+    "analyze_worker",
+    "format_breakdown",
+    "ascii_gantt",
+]

@@ -1,0 +1,115 @@
+"""The §4.1 delay-gap bounds.
+
+With finite partition size δ and per-partition overhead θ, the paper
+bounds the extra per-iteration delay of the real scheduler over the
+Theorem-1 ideal:
+
+* PS:         Σᵢ ⌊sᵢ/δ⌋·θ  +  θ  +  δ / (2·bandwidth)
+* all-reduce: Σᵢ ⌊arᵢ/δ⌋·θ  +  δ / bandwidth
+
+where sᵢ is layer *i*'s push size and arᵢ its all-reduce size.  The sum
+term is the aggregate overhead of every partition; the trailing terms
+are the one-partition wait before preemption / pull pipelining can act.
+These bounds power the bounds-check experiment (does the simulated gap
+stay under the analytic one?) and explain the partition-size sweet spot:
+the bound falls then rises in δ and is non-smooth because of the floor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.models import ModelSpec
+
+__all__ = [
+    "ps_delay_bound",
+    "allreduce_delay_bound",
+    "bound_curve",
+    "best_partition_by_bound",
+]
+
+
+def _validate(partition: float, overhead: float, bandwidth: float) -> None:
+    if partition <= 0:
+        raise ConfigError(f"partition must be > 0, got {partition!r}")
+    if overhead < 0:
+        raise ConfigError(f"overhead must be >= 0, got {overhead!r}")
+    if bandwidth <= 0:
+        raise ConfigError(f"bandwidth must be > 0, got {bandwidth!r}")
+
+
+def ps_delay_bound(
+    layer_bytes: Sequence[float],
+    partition: float,
+    overhead: float,
+    bandwidth: float,
+) -> float:
+    """Upper bound on the PS gap to the ideal (seconds)."""
+    _validate(partition, overhead, bandwidth)
+    total_overhead = sum(
+        math.floor(size / partition) * overhead for size in layer_bytes
+    )
+    return total_overhead + overhead + partition / (2.0 * bandwidth)
+
+
+def allreduce_delay_bound(
+    allreduce_bytes: Sequence[float],
+    partition: float,
+    overhead: float,
+    bandwidth: float,
+) -> float:
+    """Upper bound on the all-reduce gap to the ideal (seconds)."""
+    _validate(partition, overhead, bandwidth)
+    total_overhead = sum(
+        math.floor(size / partition) * overhead for size in allreduce_bytes
+    )
+    return total_overhead + partition / bandwidth
+
+
+def bound_curve(
+    model: ModelSpec,
+    partitions: Sequence[float],
+    overhead: float,
+    bandwidth: float,
+    arch: str = "ps",
+) -> list:
+    """The bound evaluated over a δ sweep — the falling-then-rising,
+    non-smooth curve §4.1 describes."""
+    sizes = [float(size) for size in model.layer_bytes()]
+    if arch == "ps":
+        return [
+            ps_delay_bound(sizes, delta, overhead, bandwidth)
+            for delta in partitions
+        ]
+    if arch == "allreduce":
+        return [
+            allreduce_delay_bound(sizes, delta, overhead, bandwidth)
+            for delta in partitions
+        ]
+    raise ConfigError(f"arch must be 'ps' or 'allreduce', got {arch!r}")
+
+
+def best_partition_by_bound(
+    model: ModelSpec,
+    overhead: float,
+    bandwidth: float,
+    arch: str = "ps",
+    resolution: int = 200,
+) -> float:
+    """The δ minimising the analytic bound (log sweep).
+
+    Classical optimisation does not apply — the curve is non-smooth and
+    non-differentiable (the paper's motivation for runtime search) — so
+    this scans a fine log grid instead.
+    """
+    smallest = max(min(b for b in model.layer_bytes() if b > 0), 1.0)
+    low = math.log2(max(smallest / 4.0, 1024.0))
+    high = math.log2(float(model.largest_tensor_bytes))
+    candidates = [
+        2 ** (low + (high - low) * index / (resolution - 1))
+        for index in range(resolution)
+    ]
+    curve = bound_curve(model, candidates, overhead, bandwidth, arch)
+    return candidates[curve.index(min(curve))]

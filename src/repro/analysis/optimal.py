@@ -1,0 +1,128 @@
+"""Theorem 1: the ideal-case iteration time under priority queuing.
+
+The theorem's setting: infinitely small partitions, zero per-partition
+overhead, instant preemption.  Communication then behaves as a *fluid*
+preemptive-priority server — at every instant the whole synchronisation
+bandwidth serves the highest-priority layer with bytes outstanding.
+Under those assumptions priority queuing (layer 0 first) minimises each
+iteration's makespan; this module computes that optimum exactly, giving
+experiments a lower bound to compare schedulers against.
+
+The fluid model:
+
+* one server of rate ``rate`` bytes/s (PS: the per-worker goodput, with
+  push/pull fully pipelined at δ→0; all-reduce: the ring's effective
+  rate, i.e. goodput divided by the ``2(R-1)/R`` traffic factor);
+* flow *i* (size = layer *i*'s bytes) becomes ready when backward of
+  layer *i* completes and is served preemptively, lowest index first;
+* forward of layer *i* in the next iteration starts once flow *i* has
+  drained and forward of layer *i−1* finished.
+
+The computation replays iterations until the period converges — the
+steady state exists because the system is deterministic and monotone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+from repro.models import ModelSpec
+
+__all__ = ["ideal_iteration_time", "fluid_priority_schedule", "FluidFlow"]
+
+
+@dataclass
+class FluidFlow:
+    """One layer's outstanding bytes in the fluid server."""
+
+    layer: int
+    remaining: float
+    ready_at: float
+    done_at: float = float("inf")
+
+
+def fluid_priority_schedule(
+    ready_times: List[float], sizes: List[float], rate: float, start: float
+) -> List[float]:
+    """Completion times of flows under preemptive priority (index 0
+    highest), given per-flow ready times, on one server of ``rate``.
+
+    ``start`` is the earliest instant the server may work.
+    """
+    if rate <= 0:
+        raise ConfigError(f"rate must be > 0, got {rate!r}")
+    flows = [
+        FluidFlow(layer=i, remaining=float(size), ready_at=max(ready, start))
+        for i, (ready, size) in enumerate(zip(ready_times, sizes))
+    ]
+    pending = sorted(flows, key=lambda f: f.ready_at)
+    events = sorted({flow.ready_at for flow in flows})
+    now = events[0] if events else start
+    arrived: List[FluidFlow] = []
+    index = 0
+    while index < len(pending) or arrived:
+        while index < len(pending) and pending[index].ready_at <= now + 1e-15:
+            arrived.append(pending[index])
+            index += 1
+        if not arrived:
+            now = pending[index].ready_at
+            continue
+        arrived.sort(key=lambda f: f.layer)
+        active = arrived[0]
+        drain_end = now + active.remaining / rate
+        next_arrival = pending[index].ready_at if index < len(pending) else float("inf")
+        if drain_end <= next_arrival + 1e-15:
+            active.done_at = drain_end
+            active.remaining = 0.0
+            arrived.pop(0)
+            now = drain_end
+        else:
+            active.remaining -= (next_arrival - now) * rate
+            now = next_arrival
+    return [flow.done_at for flow in flows]
+
+
+def ideal_iteration_time(
+    model: ModelSpec,
+    rate: float,
+    iterations: int = 60,
+    tolerance: float = 1e-9,
+) -> float:
+    """Steady-state iteration period of the Theorem-1 optimal schedule.
+
+    ``rate`` is the fluid synchronisation rate in bytes/second (see the
+    module docstring for how to derive it per architecture).
+    """
+    if iterations < 2:
+        raise ConfigError("need at least 2 iterations to find a period")
+    layers = model.layers
+    sizes = [float(layer.param_bytes) for layer in layers]
+    num = len(layers)
+
+    flow_done = [0.0] * num  # layer i's sync completion, previous iteration
+    previous_marker = 0.0
+    period = None
+    clock = 0.0
+    for iteration in range(iterations):
+        # Forward chain: fp_i needs fp_{i-1} and last iteration's flow i.
+        fp_end = clock
+        for i, layer in enumerate(layers):
+            fp_start = max(fp_end, flow_done[i])
+            fp_end = fp_start + layer.fp_time
+        # Backward chain: bp runs N-1 .. 0; gradients ready at bp ends.
+        bp_end = fp_end
+        ready = [0.0] * num
+        for i in reversed(range(num)):
+            bp_end += layers[i].bp_time
+            ready[i] = bp_end
+        marker = bp_end
+        flow_done = fluid_priority_schedule(ready, sizes, rate, start=clock)
+        new_period = marker - previous_marker
+        if iteration > 1 and period is not None and abs(new_period - period) < tolerance:
+            return new_period
+        period = new_period
+        previous_marker = marker
+        clock = fp_end  # next iteration's forward may begin no earlier
+    return period if period is not None else 0.0

@@ -1,0 +1,193 @@
+"""Timeline analysis: where did each iteration's time go?
+
+Given a traced :class:`~repro.training.TrainingJob`, reconstruct a
+per-iteration breakdown for one worker:
+
+* **compute** — time its GPU spent in forward/backward ops;
+* **stall** — time the GPU sat idle inside the iteration (waiting for
+  communication — the quantity scheduling exists to shrink);
+* **comm busy / overlap** — how much of the worker's network activity
+  ran, and how much of it hid under compute.
+
+This is the quantitative form of the paper's Figures 1-3: the baseline
+shows large stalls at the front of forward passes; ByteScheduler's
+stalls collapse because the input layers' tensors arrive first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+from repro.frameworks.engine import OpKind
+from repro.sim.monitor import Span
+
+__all__ = ["IterationBreakdown", "analyze_worker", "format_breakdown", "ascii_gantt"]
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """One iteration's accounting for one worker."""
+
+    index: int
+    start: float
+    end: float
+    compute_time: float
+    comm_busy: float
+    overlap: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def stall(self) -> float:
+        """GPU idle time within the iteration."""
+        return max(0.0, self.duration - self.compute_time)
+
+    @property
+    def exposed_comm(self) -> float:
+        """Communication time not hidden under compute."""
+        return max(0.0, self.comm_busy - self.overlap)
+
+
+def _merge(intervals: List[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    merged: List[Tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _covered(intervals: List[Tuple[float, float]], lo: float, hi: float) -> float:
+    total = 0.0
+    for start, end in intervals:
+        total += max(0.0, min(end, hi) - max(start, lo))
+    return total
+
+
+def _intersect(
+    a: List[Tuple[float, float]], b: List[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    out = []
+    for a_start, a_end in a:
+        for b_start, b_end in b:
+            lo, hi = max(a_start, b_start), min(a_end, b_end)
+            if hi > lo:
+                out.append((lo, hi))
+    return _merge(out)
+
+
+def _worker_comm_spans(job, worker: str) -> List[Tuple[float, float]]:
+    spans: List[Tuple[float, float]] = []
+    if job.backend.is_collective:
+        spans.extend(
+            (span.start, span.end) for span in job.trace.by_category("allreduce")
+        )
+    else:
+        for span in job.trace.by_category("link"):
+            if span.name in (f"{worker}.up", f"{worker}.down"):
+                spans.append((span.start, span.end))
+    return _merge(spans)
+
+
+def analyze_worker(job, worker: str = None) -> List[IterationBreakdown]:
+    """Per-iteration breakdown for ``worker`` (default: the first).
+
+    The job must have been built with ``enable_trace=True`` and run to
+    completion.
+    """
+    worker = worker or job.workers[0]
+    engine = job.engines[worker]
+    if not engine.record_ops:
+        raise ConfigError("timeline analysis needs a job built with enable_trace=True")
+    markers = job.markers[worker]
+    if len(markers) < 2:
+        raise ConfigError("need at least two completed iterations to analyse")
+
+    compute = _merge(
+        [
+            (op.started_at, op.finished_at)
+            for op in engine.ops
+            if op.kind is OpKind.COMPUTE
+            and op.started_at is not None
+            and op.finished_at is not None
+        ]
+    )
+    comm = _worker_comm_spans(job, worker)
+    overlap = _intersect(compute, comm)
+
+    breakdowns = []
+    boundaries = [0.0] + markers
+    for index in range(1, len(boundaries)):
+        lo, hi = boundaries[index - 1], boundaries[index]
+        breakdowns.append(
+            IterationBreakdown(
+                index=index - 1,
+                start=lo,
+                end=hi,
+                compute_time=_covered(compute, lo, hi),
+                comm_busy=_covered(comm, lo, hi),
+                overlap=_covered(overlap, lo, hi),
+            )
+        )
+    return breakdowns
+
+
+def format_breakdown(breakdowns: List[IterationBreakdown]) -> str:
+    """A paper-style per-iteration accounting table (milliseconds)."""
+    lines = [
+        f"{'iter':>4}  {'total':>8}  {'compute':>8}  {'stall':>8}  "
+        f"{'comm':>8}  {'overlap':>8}  {'exposed':>8}"
+    ]
+    for item in breakdowns:
+        lines.append(
+            f"{item.index:>4}  {item.duration * 1e3:>8.2f}  "
+            f"{item.compute_time * 1e3:>8.2f}  {item.stall * 1e3:>8.2f}  "
+            f"{item.comm_busy * 1e3:>8.2f}  {item.overlap * 1e3:>8.2f}  "
+            f"{item.exposed_comm * 1e3:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_gantt(
+    job,
+    worker: str = None,
+    start: float = None,
+    end: float = None,
+    width: int = 72,
+) -> str:
+    """Two-row ASCII gantt (GPU / NET) over a time window — a terminal
+    rendering of Figure 1's timeline."""
+    worker = worker or job.workers[0]
+    markers = job.markers[worker]
+    start = markers[0] if start is None else start
+    end = markers[-1] if end is None else end
+    if end <= start:
+        raise ConfigError("empty gantt window")
+    engine = job.engines[worker]
+    compute = _merge(
+        [
+            (op.started_at, op.finished_at)
+            for op in engine.ops
+            if op.kind is OpKind.COMPUTE and op.finished_at is not None
+        ]
+    )
+    comm = _worker_comm_spans(job, worker)
+    step = (end - start) / width
+
+    def row(spans: List[Tuple[float, float]], char: str) -> str:
+        cells = []
+        for index in range(width):
+            lo = start + index * step
+            busy = _covered(spans, lo, lo + step) > 0.5 * step
+            cells.append(char if busy else ".")
+        return "".join(cells)
+
+    scale = f"{start * 1e3:.1f} ms {'-' * (width - 20)} {end * 1e3:.1f} ms"
+    return "\n".join(
+        [scale, "GPU " + row(compute, "#"), "NET " + row(comm, "=")]
+    )

@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Three entry points, runnable as ``python -m repro ...``:
+
+* ``run``       — simulate one training configuration (optionally
+                  against the vanilla baseline).
+* ``tune``      — auto-tune (partition, credit) for a configuration.
+* ``reproduce`` — regenerate one of the paper's tables or figures.
+* ``models``    — list the model zoo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+from repro.units import MB
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ByteScheduler (SOSP 2019) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="simulate one training configuration")
+    _add_cluster_args(run)
+    run.add_argument("--scheduler", default="bytescheduler",
+                     choices=["fifo", "p3", "bytescheduler", "fusion"])
+    run.add_argument("--partition-mb", type=float, default=None)
+    run.add_argument("--credit-mb", type=float, default=None)
+    run.add_argument("--measure", type=int, default=6)
+    run.add_argument("--compare", action="store_true",
+                     help="also run the FIFO baseline and report the speedup")
+    run.add_argument("--timeline", action="store_true",
+                     help="print the per-iteration breakdown and gantt")
+
+    tune = commands.add_parser("tune", help="auto-tune partition and credit sizes")
+    _add_cluster_args(tune)
+    tune.add_argument("--method", default="bo",
+                      choices=["bo", "grid", "random", "sgd"])
+    tune.add_argument("--trials", type=int, default=12)
+    tune.add_argument("--seed", type=int, default=0)
+
+    reproduce = commands.add_parser(
+        "reproduce", help="regenerate one of the paper's tables/figures"
+    )
+    reproduce.add_argument(
+        "target",
+        choices=[
+            "figure2", "figure4", "figure9", "figure10", "figure11",
+            "figure12", "figure13", "figure14", "table1", "p3",
+            "bounds", "ablations", "extensions", "coscheduling", "all",
+        ],
+    )
+    reproduce.add_argument("--fast", action="store_true",
+                           help="smaller scales / fewer iterations")
+    reproduce.add_argument("--out", default=None,
+                           help="for 'all': also write the report to a file")
+
+    commands.add_parser("models", help="list the model zoo")
+    return parser
+
+
+def _add_cluster_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--model", default="vgg16")
+    sub.add_argument("--machines", type=int, default=4)
+    sub.add_argument("--gpus-per-machine", type=int, default=8)
+    sub.add_argument("--bandwidth", type=float, default=100.0,
+                     help="link speed in Gbps")
+    sub.add_argument("--transport", default="rdma", choices=["tcp", "rdma"])
+    sub.add_argument("--arch", default="ps", choices=["ps", "allreduce"])
+    sub.add_argument("--framework", default="mxnet",
+                     choices=["mxnet", "tensorflow", "pytorch"])
+
+
+def _cluster_from(args: argparse.Namespace):
+    from repro.training import ClusterSpec
+
+    return ClusterSpec(
+        machines=args.machines,
+        gpus_per_machine=args.gpus_per_machine,
+        bandwidth_gbps=args.bandwidth,
+        transport=args.transport,
+        arch=args.arch,
+        framework=args.framework,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments import tuned_knobs
+    from repro.training import SchedulerSpec, TrainingJob, run_experiment
+    from repro.training.runner import resolve_model
+
+    cluster = _cluster_from(args)
+    if args.scheduler == "bytescheduler" and args.partition_mb is None:
+        partition, credit = tuned_knobs(
+            args.model, cluster.arch, cluster.transport, machines=cluster.machines
+        )
+    else:
+        partition = args.partition_mb * MB if args.partition_mb else None
+        credit = args.credit_mb * MB if args.credit_mb else None
+    spec = SchedulerSpec(
+        kind=args.scheduler, partition_bytes=partition, credit_bytes=credit
+    )
+
+    job = TrainingJob(
+        resolve_model(args.model), cluster, spec, enable_trace=args.timeline
+    )
+    result = job.run(measure=args.measure)
+    print(result.summary())
+    if args.timeline:
+        from repro.analysis import analyze_worker, ascii_gantt, format_breakdown
+
+        print()
+        print(format_breakdown(analyze_worker(job)))
+        print(ascii_gantt(job))
+    if args.compare:
+        baseline = run_experiment(
+            args.model, cluster, SchedulerSpec(kind="fifo"), measure=args.measure
+        )
+        print(baseline.summary())
+        print(f"speedup over baseline: +{result.speedup_over(baseline) * 100:.0f}%")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tuning import AutoTuner, simulated_objective
+
+    cluster = _cluster_from(args)
+    tuner = AutoTuner(
+        simulated_objective(args.model, cluster, measure=2, warmup=1),
+        method=args.method,
+        seed=args.seed,
+    )
+    result = tuner.run(max_trials=args.trials)
+    partition, credit = result.best_point
+    print(
+        f"best knobs after {result.num_trials} trials: "
+        f"partition {partition / MB:.2f} MB, credit {credit / MB:.2f} MB "
+        f"-> {result.best_speed:,.0f} samples/s"
+    )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro import experiments as exp
+
+    fast = args.fast
+    target = args.target
+    if target == "figure2":
+        print(exp.figure2.format_result(exp.figure2.run()))
+    elif target == "figure4":
+        sizes = (100, 250, 700) if fast else (100, 160, 250, 400, 550, 700)
+        print(exp.figure4.format_result(exp.figure4.run(machines=2, measure=2, sizes_kb=sizes)))
+    elif target == "figure9":
+        print(exp.figure9.format_result(exp.figure9.run(machines=2 if fast else 4)))
+    elif target in ("figure10", "figure11", "figure12"):
+        model = {"figure10": "vgg16", "figure11": "resnet50", "figure12": "transformer"}[target]
+        machines = (1, 2) if fast else (1, 2, 4, 8)
+        grid = exp.figure10_12.run_model(model, machines_list=machines, measure=3)
+        print(exp.figure10_12.format_model_grid(grid))
+    elif target == "figure13":
+        models = ("vgg16",) if fast else ("vgg16", "resnet50", "transformer")
+        print(exp.figure13.format_result(
+            exp.figure13.run(models=models, machines=2 if fast else 4, measure=2)
+        ))
+    elif target == "figure14":
+        print(exp.figure14.format_result(
+            exp.figure14.run(machines=2, seeds=(0,) if fast else (0, 1, 2))
+        ))
+    elif target == "table1":
+        print(exp.table1.format_result(
+            exp.table1.run(machines=2 if fast else 4, trials=6 if fast else 10)
+        ))
+    elif target == "p3":
+        print(exp.extra.format_p3(exp.extra.run_p3_comparison(machines=2 if fast else 4)))
+        print()
+        print(exp.extra.format_extra_models(exp.extra.run_extra_models(machines=2 if fast else 4)))
+    elif target == "bounds":
+        print(exp.bounds_check.format_result(exp.bounds_check.run(machines=2 if fast else 4)))
+    elif target == "ablations":
+        machines = 2 if fast else 4
+        for runner in (
+            exp.ablations.credit_ablation,
+            exp.ablations.partition_ablation,
+            exp.ablations.barrier_ablation,
+            exp.ablations.sharding_ablation,
+            exp.ablations.fusion_ablation,
+        ):
+            print(exp.ablations.format_ablation(runner(machines=machines)))
+            print()
+    elif target == "all":
+        import sys as _sys
+
+        from repro.experiments.report import generate_report
+
+        text = generate_report(fast=fast, stream=_sys.stderr)
+        print(text)
+        if getattr(args, "out", None):
+            with open(args.out, "w") as handle:
+                handle.write(text)
+    elif target == "coscheduling":
+        print(exp.coscheduling.format_result(
+            exp.coscheduling.run(machines=2 if fast else 4)
+        ))
+    elif target == "extensions":
+        machines = 2 if fast else 4
+        print(exp.extensions.format_per_layer(exp.extensions.per_layer_partitions(machines=machines)))
+        print(exp.extensions.format_online(exp.extensions.online_tuning_trajectory(machines=machines)))
+        print(exp.extensions.format_async(exp.extensions.async_vs_sync(machines=machines)))
+    return 0
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    from repro.models import MODEL_BUILDERS
+
+    for name, builder in sorted(MODEL_BUILDERS.items()):
+        model = builder()
+        print(
+            f"{name:12} {model.num_layers:>3} layers  "
+            f"{model.total_bytes / 1e6:8.1f} MB  "
+            f"compute {model.compute_time * 1e3:6.1f} ms  "
+            f"batch {model.batch_size} {model.sample_unit}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "tune": _cmd_tune,
+        "reproduce": _cmd_reproduce,
+        "models": _cmd_models,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Gradient synchronisation backends: parameter server and ring all-reduce."""
+
+from repro.comm.allreduce import RingAllReduceBackend
+from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend
+from repro.comm.ps import PSBackend
+from repro.comm.sharding import (
+    BigTensorSplit,
+    ChunkRoundRobin,
+    GreedyBalanced,
+    LayerRoundRobin,
+    ShardingStrategy,
+    make_sharding,
+)
+
+__all__ = [
+    "ChunkSpec",
+    "ChunkHandle",
+    "CommBackend",
+    "PSBackend",
+    "RingAllReduceBackend",
+    "ShardingStrategy",
+    "BigTensorSplit",
+    "LayerRoundRobin",
+    "ChunkRoundRobin",
+    "GreedyBalanced",
+    "make_sharding",
+]

@@ -1,0 +1,128 @@
+"""Ring all-reduce backend (NCCL/Horovod-style).
+
+A collective over ``R`` ranks moves ``2(R-1)/R`` of the tensor size
+through the bottleneck link and pays a per-operation synchronisation
+cost that *grows with the ring size* — the reason the paper's tuned
+partition sizes for NCCL are an order of magnitude larger than for PS
+(Table 1: 56–88 MB vs 3–6 MB).
+
+Collectives execute on a single FIFO pipe: NCCL serialises collectives
+on a stream, and every rank must run them in the same order — which is
+why the paper has only the *master* Core pick the order (§5).  The
+backend therefore refuses per-worker scheduling (``is_collective``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.net.transport import Transport
+from repro.sim import Environment, Trace
+from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend
+from repro.units import GB, MS, US
+
+__all__ = ["RingAllReduceBackend"]
+
+#: Aggregate intra-node bandwidth (PCIe class, no NVLink per the paper).
+DEFAULT_LOCAL_BANDWIDTH = 10 * GB
+
+
+class RingAllReduceBackend(CommBackend):
+    """Hierarchical ring all-reduce over machines × GPUs."""
+
+    is_collective = True
+
+    def __init__(
+        self,
+        env: Environment,
+        machines: int,
+        gpus_per_machine: int,
+        bandwidth: float,
+        transport: Transport,
+        local_bandwidth: float = DEFAULT_LOCAL_BANDWIDTH,
+        base_sync: float = 0.4 * MS,
+        per_rank_sync: float = 25 * US,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        if machines < 1:
+            raise ConfigError(f"machines must be >= 1, got {machines}")
+        if gpus_per_machine < 1:
+            raise ConfigError(f"gpus_per_machine must be >= 1, got {gpus_per_machine}")
+        self.env = env
+        self.machines = machines
+        self.gpus_per_machine = gpus_per_machine
+        self.bandwidth = bandwidth
+        self.transport = transport
+        self.local_bandwidth = local_bandwidth
+        self.base_sync = base_sync
+        self.per_rank_sync = per_rank_sync
+        self.trace = trace
+        self._workers = tuple(f"m{index}" for index in range(machines))
+        self._busy_until = env.now
+        self.collectives_run = 0
+        self.bytes_reduced = 0.0
+
+    @property
+    def workers(self) -> Tuple[str, ...]:
+        return self._workers
+
+    @property
+    def ring_size(self) -> int:
+        """Number of ranks in the (flat) ring."""
+        return self.machines * self.gpus_per_machine
+
+    def sync_overhead(self) -> float:
+        """Per-collective synchronisation cost (the all-reduce θ)."""
+        return self.base_sync + self.per_rank_sync * self.ring_size
+
+    def collective_time(self, size: float) -> float:
+        """Wall time for one ring all-reduce of ``size`` bytes.
+
+        Inter-machine traffic crosses each NIC once per direction; with
+        a single machine the ring is entirely intra-node (PCIe).
+        """
+        if size <= 0:
+            raise ConfigError(f"collective size must be > 0, got {size!r}")
+        ranks = self.ring_size
+        if ranks == 1:
+            return self.base_sync  # nothing to reduce
+        if self.machines > 1:
+            effective = self.bandwidth * self.transport.efficiency
+            wire = 2 * (ranks - 1) / ranks * size / effective
+        else:
+            wire = 2 * (ranks - 1) / ranks * size / self.local_bandwidth
+        return wire + self.sync_overhead()
+
+    def start_chunk(self, chunk: ChunkSpec) -> ChunkHandle:
+        if chunk.worker is not None:
+            raise ConfigError(
+                "all-reduce chunks are collective; start them without a worker"
+            )
+        start = max(self.env.now, self._busy_until)
+        end = start + self.collective_time(chunk.size)
+        self._busy_until = end
+        self.collectives_run += 1
+        self.bytes_reduced += chunk.size
+        if self.trace is not None:
+            self.trace.span(
+                "allreduce",
+                f"iter{chunk.iteration}.layer{chunk.layer}.{chunk.chunk_index}",
+                start,
+                end,
+                size=chunk.size,
+            )
+        # A collective is "sent" when it completes: the credit window
+        # bounds how many operations sit in NCCL's execution queue.
+        completion = self.env.timeout(end - self.env.now, value=chunk)
+        return ChunkHandle(sent=completion, done=completion)
+
+    def bytes_per_iteration(self, total_model_bytes: float) -> float:
+        ranks = self.ring_size
+        return 2 * (ranks - 1) / ranks * total_model_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<RingAllReduceBackend {self.machines}x{self.gpus_per_machine} "
+            f"{self.transport.name}>"
+        )

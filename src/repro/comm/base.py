@@ -1,0 +1,101 @@
+"""Communication backend interface.
+
+A backend knows how to move one *chunk* (a partition of one layer's
+tensor) through the cluster and reports delivery with an event.  The
+scheduler above decides *when* and in *what order* chunks are handed
+over; the backend below is strictly FIFO, mirroring the paper's split
+between the Core (ordering) and the framework's communication stack
+(transmission).
+
+Two backend families exist:
+
+* **Per-worker** backends (PS): every worker runs its own scheduler and
+  calls :meth:`CommBackend.start_chunk` for its own copy of the chunk.
+* **Collective** backends (all-reduce): one master scheduler starts each
+  chunk exactly once on behalf of all workers (the paper: "only the
+  master Core determines the order of sending tensors ... so that all
+  workers can perform the same all-reduce operation simultaneously").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.sim import Event
+
+__all__ = ["ChunkSpec", "ChunkHandle", "CommBackend"]
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """Identifies one partition of one layer's tensor in one iteration.
+
+    ``worker`` is ``None`` for collective backends (the chunk belongs to
+    everyone).
+    """
+
+    iteration: int
+    layer: int
+    chunk_index: int
+    num_chunks: int
+    size: float
+    worker: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"chunk size must be > 0, got {self.size!r}")
+        if not 0 <= self.chunk_index < self.num_chunks:
+            raise ValueError(
+                f"chunk_index {self.chunk_index} outside [0, {self.num_chunks})"
+            )
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        """Correlation key shared by all workers' copies of this chunk."""
+        return (self.iteration, self.layer, self.chunk_index)
+
+
+@dataclass(frozen=True)
+class ChunkHandle:
+    """The two milestones of a chunk the scheduler cares about.
+
+    ``sent`` — the chunk has left the sender (PS: the push cleared the
+    worker's uplink; all-reduce: the collective completed).  This is
+    when *sender credit* returns (§4.2 defines credit as "filling the
+    sending buffer").
+
+    ``done`` — the synchronised data is available at the calling worker
+    (PS: its pull was delivered; all-reduce: same as ``sent``).  This is
+    what ``notify_finish`` reports and what forward proxies wait for.
+    """
+
+    sent: Event
+    done: Event
+
+
+class CommBackend(abc.ABC):
+    """Executes chunk transfers over the simulated cluster."""
+
+    #: True if one ``start_chunk`` serves all workers (all-reduce).
+    is_collective: bool = False
+
+    @property
+    @abc.abstractmethod
+    def workers(self) -> Tuple[str, ...]:
+        """Names of the worker nodes this backend serves."""
+
+    @abc.abstractmethod
+    def start_chunk(self, chunk: ChunkSpec) -> ChunkHandle:
+        """Hand ``chunk`` to the FIFO communication stack.
+
+        Returns a :class:`ChunkHandle` with the ``sent`` (credit-return)
+        and ``done`` (data-available) events.  Chunks handed over are
+        *not preemptible* — that is the whole point.
+        """
+
+    def bytes_per_iteration(self, total_model_bytes: float) -> float:
+        """Bytes a single worker NIC moves per direction per iteration
+        (used by experiments for sanity accounting)."""
+        return float(total_model_bytes)

@@ -1,0 +1,188 @@
+"""Parameter-server backend: push → (aggregate, update) → pull.
+
+One chunk's life (synchronous training, the paper's measured mode):
+
+1. Each worker pushes its gradient chunk to the chunk's server
+   (worker uplink FIFO → server downlink FIFO).
+2. When all workers' copies have arrived, the server applies the
+   optimizer update (a FIFO update pipe models the server CPU).
+3. The server sends the fresh parameter chunk back to every worker
+   (server uplink FIFO → worker downlink FIFO).
+4. The worker-side event fires when *that worker's* pull is delivered.
+
+This reproduces the two PS effects the paper leans on: duplex
+push/pull pipelining across chunks (§2.2 "partitioning ... improves
+bandwidth utilization of bi-directional network") and server load
+imbalance under whole-tensor sharding (§6.2 "PS load balancing").
+
+In asynchronous mode, step 2's barrier disappears: a worker's pull is
+answered right after its own push (the paper notes async speedups are
+similar, §6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.net import Fabric, Link, Message, Transport
+from repro.sim import Environment, Event
+from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend
+from repro.comm.sharding import ChunkRoundRobin, ShardingStrategy
+from repro.units import GB, US
+
+__all__ = ["PSBackend"]
+
+#: Server-side update throughput (bytes/s): summing W gradients and an
+#: SGD step is memory-bandwidth bound, far faster than the network.
+DEFAULT_UPDATE_RATE = 40 * GB
+
+
+@dataclass
+class _ChunkState:
+    """Aggregation progress for one (iteration, layer, chunk)."""
+
+    arrived: int = 0
+    waiters: Dict[str, Event] = field(default_factory=dict)
+    updated: bool = False
+
+
+class PSBackend(CommBackend):
+    """Sharded parameter-server gradient synchronisation."""
+
+    is_collective = False
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        workers: Tuple[str, ...],
+        servers: Tuple[str, ...],
+        sharding: Optional[ShardingStrategy] = None,
+        layer_bytes: Optional[Tuple[int, ...]] = None,
+        synchronous: bool = True,
+        update_rate: float = DEFAULT_UPDATE_RATE,
+        ack_delay: float = 0.0,
+    ) -> None:
+        if not workers:
+            raise ConfigError("PSBackend needs at least one worker")
+        if not servers:
+            raise ConfigError("PSBackend needs at least one server")
+        self.env = env
+        self.fabric = fabric
+        self._workers = tuple(workers)
+        self.servers = tuple(servers)
+        self.synchronous = synchronous
+        self.ack_delay = ack_delay
+        self.sharding = sharding or ChunkRoundRobin()
+        if layer_bytes is not None:
+            self.sharding.prepare(layer_bytes, len(self.servers))
+        self._pending: Dict[Tuple[int, int, int], _ChunkState] = {}
+        # One FIFO update pipe per server models its optimizer CPU.
+        self._update_pipes = {
+            server: Link(
+                env,
+                f"{server}.update",
+                update_rate,
+                Transport("update", overhead=10 * US, efficiency=1.0),
+                trace=fabric.trace,
+            )
+            for server in self.servers
+        }
+
+    @property
+    def workers(self) -> Tuple[str, ...]:
+        return self._workers
+
+    def prepare(self, layer_bytes: Tuple[int, ...]) -> None:
+        """Late-bind the model layout for the sharding strategy."""
+        self.sharding.prepare(layer_bytes, len(self.servers))
+
+    def server_for(self, chunk: ChunkSpec) -> str:
+        """The server hosting ``chunk``."""
+        return self.servers[self.sharding.server_for(chunk.layer, chunk.chunk_index)]
+
+    def start_chunk(self, chunk: ChunkSpec) -> ChunkHandle:
+        if chunk.worker not in self._workers:
+            raise ConfigError(f"unknown worker {chunk.worker!r} for chunk {chunk}")
+        done = self.env.event()
+        server = self.server_for(chunk)
+        state = self._pending.setdefault(chunk.key, _ChunkState())
+        if chunk.worker in state.waiters:
+            raise ConfigError(f"chunk {chunk.key} started twice by {chunk.worker}")
+        state.waiters[chunk.worker] = done
+
+        push = Message(chunk.worker, server, chunk.size, kind="push", payload=chunk)
+        handle = self.fabric.transfer(push)
+        handle.delivered.callbacks.append(
+            lambda _evt, c=chunk, s=server: self._on_push_delivered(c, s)
+        )
+        # Sender credit is held until the push is delivered AND the
+        # server's acknowledgement returns (that is what ends a send in
+        # ps-lite): with credit = one partition this degenerates to
+        # stop-and-wait, idling the uplink for the remote half of each
+        # round trip — P3's inefficiency (§6.2).
+        if self.ack_delay > 0:
+            acked = self.env.event()
+            handle.delivered.callbacks.append(
+                lambda _evt: self.env.timeout(self.ack_delay).callbacks.append(
+                    lambda _e: acked.succeed(chunk)
+                )
+            )
+        else:
+            acked = handle.delivered
+        return ChunkHandle(sent=acked, done=done)
+
+    # -- internal ----------------------------------------------------------
+
+    def _on_push_delivered(self, chunk: ChunkSpec, server: str) -> None:
+        state = self._pending[chunk.key]
+        state.arrived += 1
+        if self.synchronous:
+            if state.arrived == len(self._workers):
+                self._update_and_pull(chunk, server, list(state.waiters))
+        else:
+            # Async: answer this worker immediately; run the (cheap)
+            # update once, on first arrival.
+            run_update = not state.updated
+            state.updated = True
+            self._update_and_pull(
+                chunk, server, [chunk.worker], run_update=run_update
+            )
+
+    def _update_and_pull(
+        self,
+        chunk: ChunkSpec,
+        server: str,
+        pullers: List[str],
+        run_update: bool = True,
+    ) -> None:
+        state = self._pending[chunk.key]
+
+        def _send_pulls(_evt: Event = None) -> None:
+            for worker in pullers:
+                pull = Message(server, worker, chunk.size, kind="pull", payload=chunk)
+                handle = self.fabric.transfer(pull)
+                handle.delivered.callbacks.append(
+                    lambda _e, w=worker: self._on_pull_delivered(chunk, w)
+                )
+
+        if run_update:
+            update = Message(server, server, chunk.size, kind="update", payload=chunk)
+            self._update_pipes[server].transmit(update).callbacks.append(_send_pulls)
+        else:
+            _send_pulls()
+
+    def _on_pull_delivered(self, chunk: ChunkSpec, worker: str) -> None:
+        state = self._pending[chunk.key]
+        state.waiters.pop(worker).succeed(chunk)
+        if not state.waiters and state.arrived == len(self._workers):
+            del self._pending[chunk.key]
+
+    def __repr__(self) -> str:
+        mode = "sync" if self.synchronous else "async"
+        return (
+            f"<PSBackend {len(self._workers)}w x {len(self.servers)}s {mode} "
+            f"sharding={type(self.sharding).__name__}>"
+        )

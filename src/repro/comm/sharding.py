@@ -1,0 +1,158 @@
+"""Tensor-to-server assignment strategies for the PS architecture.
+
+The paper (§6.2, "PS load balancing") observes that the baseline's
+naïve round-robin assignment of whole tensors to servers leaves PS
+severely imbalanced when a few tensors dominate the model (VGG16's fc6
+is 74% of the model), and that ByteScheduler's small partitions balance
+the load "very well".  These strategies reproduce both behaviours:
+
+* :class:`LayerRoundRobin` — whole layer → server ``layer % S`` (the
+  baseline's naïve assignment).
+* :class:`ChunkRoundRobin` — every chunk goes to the next server in
+  turn, so load balances at partition granularity (what partitioning
+  buys ByteScheduler).
+* :class:`GreedyBalanced` — classic LPT bin-packing of layers by size;
+  a stronger whole-tensor baseline used in the sharding ablation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "BigTensorSplit",
+    "ShardingStrategy",
+    "LayerRoundRobin",
+    "ChunkRoundRobin",
+    "GreedyBalanced",
+    "make_sharding",
+]
+
+
+class ShardingStrategy(abc.ABC):
+    """Maps (layer, chunk) to a server index in ``[0, num_servers)``."""
+
+    def __init__(self) -> None:
+        self._num_servers: Optional[int] = None
+
+    def prepare(self, layer_bytes: Sequence[int], num_servers: int) -> None:
+        """Fix the model layout and server count before training."""
+        if num_servers <= 0:
+            raise ConfigError(f"num_servers must be > 0, got {num_servers}")
+        self._num_servers = num_servers
+        self._layer_bytes = list(layer_bytes)
+
+    @property
+    def num_servers(self) -> int:
+        if self._num_servers is None:
+            raise ConfigError("sharding strategy used before prepare()")
+        return self._num_servers
+
+    @abc.abstractmethod
+    def server_for(self, layer: int, chunk_index: int) -> int:
+        """Server index for a chunk of ``layer``."""
+
+    def server_loads(self, chunk_counts: Sequence[int]) -> List[float]:
+        """Bytes assigned to each server given per-layer chunk counts
+        (chunks of a layer are assumed equal-sized); used by tests and
+        the sharding ablation to quantify imbalance."""
+        loads = [0.0] * self.num_servers
+        for layer, total in enumerate(self._layer_bytes):
+            chunks = max(1, chunk_counts[layer])
+            per_chunk = total / chunks
+            for chunk in range(chunks):
+                loads[self.server_for(layer, chunk)] += per_chunk
+        return loads
+
+
+class LayerRoundRobin(ShardingStrategy):
+    """Whole tensor of layer *i* lives on server ``i % S`` — the
+    baseline assignment that leaves PS imbalanced for skewed models."""
+
+    def server_for(self, layer: int, chunk_index: int) -> int:
+        return layer % self.num_servers
+
+
+class ChunkRoundRobin(ShardingStrategy):
+    """Chunks are dealt to servers like cards: chunk *j* of layer *i*
+    goes to ``(offset_i + j) % S``, where ``offset_i`` continues the
+    deal from the previous layer, spreading even single-chunk layers."""
+
+    def prepare(self, layer_bytes: Sequence[int], num_servers: int) -> None:
+        super().prepare(layer_bytes, num_servers)
+        self._offsets: Dict[int, int] = {}
+        cursor = 0
+        for layer in range(len(layer_bytes)):
+            self._offsets[layer] = cursor
+            cursor += 1  # advance so single-chunk layers also rotate
+
+    def server_for(self, layer: int, chunk_index: int) -> int:
+        return (self._offsets[layer] + chunk_index) % self.num_servers
+
+
+class GreedyBalanced(ShardingStrategy):
+    """Longest-processing-time bin packing of whole layers by bytes."""
+
+    def prepare(self, layer_bytes: Sequence[int], num_servers: int) -> None:
+        super().prepare(layer_bytes, num_servers)
+        loads = [0.0] * num_servers
+        self._assignment: Dict[int, int] = {}
+        order = sorted(range(len(layer_bytes)), key=lambda i: -layer_bytes[i])
+        for layer in order:
+            target = min(range(num_servers), key=lambda s: loads[s])
+            self._assignment[layer] = target
+            loads[target] += layer_bytes[layer]
+
+    def server_for(self, layer: int, chunk_index: int) -> int:
+        return self._assignment[layer]
+
+
+class BigTensorSplit(ShardingStrategy):
+    """MXNet's default placement: tensors above the big-array bound are
+    sliced across all servers; smaller tensors go whole to a
+    round-robin server.
+
+    This is the honest vanilla baseline — big tensors balance, but the
+    mid-sized ones that stay whole still skew server load, which is the
+    residual imbalance §6.2 observes.
+    """
+
+    def __init__(self, threshold: float = 4 * 1024 * 1024) -> None:
+        super().__init__()
+        if threshold <= 0:
+            raise ConfigError(f"threshold must be > 0, got {threshold!r}")
+        self.threshold = threshold
+
+    def prepare(self, layer_bytes: Sequence[int], num_servers: int) -> None:
+        super().prepare(layer_bytes, num_servers)
+        self._whole: Dict[int, int] = {}
+        cursor = 0
+        for layer, size in enumerate(layer_bytes):
+            if size <= self.threshold:
+                self._whole[layer] = cursor % num_servers
+                cursor += 1
+
+    def server_for(self, layer: int, chunk_index: int) -> int:
+        if layer in self._whole:
+            return self._whole[layer]
+        return chunk_index % self.num_servers
+
+
+_STRATEGIES = {
+    "layer": LayerRoundRobin,
+    "chunk": ChunkRoundRobin,
+    "greedy": GreedyBalanced,
+    "mxnet": BigTensorSplit,
+}
+
+
+def make_sharding(name: str) -> ShardingStrategy:
+    """Build a sharding strategy by name ('layer', 'chunk', 'greedy')."""
+    try:
+        return _STRATEGIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_STRATEGIES))
+        raise ConfigError(f"unknown sharding {name!r}; known: {known}") from None

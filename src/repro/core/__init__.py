@@ -1,0 +1,53 @@
+"""ByteScheduler's primary contribution: the generic tensor scheduler.
+
+* :class:`ByteSchedulerCore` — Algorithm 1 (priority queue +
+  credit-based preemption).
+* :class:`CommTask` / :class:`SubCommTask` — the unified communication
+  abstraction (§3.2).
+* :class:`ByteSchedulerAdapter` / :class:`VanillaAdapter` — framework
+  plugins: Dependency Proxies and barrier crossing (§3.3–3.4).
+* :func:`fifo_scheduler` / :func:`p3_scheduler` / :func:`bytescheduler`
+  — the evaluated scheduler configurations.
+"""
+
+from repro.core.baselines import (
+    DEFAULT_BASELINE_PARTITION,
+    P3_PARTITION,
+    bytescheduler,
+    fifo_scheduler,
+    p3_scheduler,
+)
+from repro.core.commtask import CommTask, SubCommTask, TaskState
+from repro.core.fusion import FusionCore
+from repro.core.plugin import (
+    Adapter,
+    ByteSchedulerAdapter,
+    ReadyCountdown,
+    VanillaAdapter,
+    make_adapter,
+)
+from repro.core.scheduler import (
+    PRIORITY_FIFO,
+    PRIORITY_LAYER,
+    ByteSchedulerCore,
+)
+
+__all__ = [
+    "ByteSchedulerCore",
+    "FusionCore",
+    "CommTask",
+    "SubCommTask",
+    "TaskState",
+    "PRIORITY_LAYER",
+    "PRIORITY_FIFO",
+    "Adapter",
+    "VanillaAdapter",
+    "ByteSchedulerAdapter",
+    "ReadyCountdown",
+    "make_adapter",
+    "fifo_scheduler",
+    "p3_scheduler",
+    "bytescheduler",
+    "DEFAULT_BASELINE_PARTITION",
+    "P3_PARTITION",
+]

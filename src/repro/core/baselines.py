@@ -1,0 +1,100 @@
+"""Baseline schedulers, expressed as Core configurations.
+
+Because the Core cleanly separates *policy* (priority order, partition
+unit, credit) from *mechanism* (queueing, credit accounting, backend
+dispatch), every comparison point in the paper is a configuration:
+
+* :func:`fifo_scheduler` — the vanilla framework: tensors go to the
+  network in the order backward propagation produces them, with the
+  framework's default big-tensor splitting and no in-flight limit.
+* :func:`p3_scheduler` — Jayarajan et al.'s P3: priority scheduling
+  with a fixed 160 KB partition and *stop-and-wait* transmission (one
+  partition in flight — credit equals one partition), which is exactly
+  why §6.2 finds it "cannot utilize the bandwidth fully".
+* :func:`bytescheduler` — the paper's scheduler with explicit
+  (partition, credit) knobs, normally driven by the auto-tuner.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.sim import Environment
+from repro.comm.base import CommBackend
+from repro.core.scheduler import (
+    PRIORITY_FIFO,
+    PRIORITY_LAYER,
+    ByteSchedulerCore,
+)
+from repro.units import KB, MB
+
+__all__ = [
+    "fifo_scheduler",
+    "p3_scheduler",
+    "bytescheduler",
+    "DEFAULT_BASELINE_PARTITION",
+    "P3_PARTITION",
+]
+
+#: MXNet's kvstore splits big arrays into ~4 MB slices by default; we
+#: use the same for the vanilla-framework baseline.
+DEFAULT_BASELINE_PARTITION = 4 * MB
+
+#: P3's published default partition size (§2.3).
+P3_PARTITION = 160 * KB
+
+
+def fifo_scheduler(
+    env: Environment,
+    backend: CommBackend,
+    partition_bytes: Optional[float] = DEFAULT_BASELINE_PARTITION,
+    credit_bytes: float = math.inf,
+    name: str = "fifo",
+) -> ByteSchedulerCore:
+    """Vanilla framework transmission: FIFO order, unlimited credit."""
+    return ByteSchedulerCore(
+        env,
+        backend,
+        partition_bytes=partition_bytes,
+        credit_bytes=credit_bytes,
+        priority_mode=PRIORITY_FIFO,
+        name=name,
+    )
+
+
+def p3_scheduler(
+    env: Environment,
+    backend: CommBackend,
+    partition_bytes: float = P3_PARTITION,
+    name: str = "p3",
+) -> ByteSchedulerCore:
+    """P3: priority queueing, fixed partitions, stop-and-wait credit."""
+    return ByteSchedulerCore(
+        env,
+        backend,
+        partition_bytes=partition_bytes,
+        credit_bytes=partition_bytes,  # exactly one partition in flight
+        priority_mode=PRIORITY_LAYER,
+        name=name,
+    )
+
+
+def bytescheduler(
+    env: Environment,
+    backend: CommBackend,
+    partition_bytes: float,
+    credit_bytes: float,
+    notify_delay: float = 0.0,
+    name: str = "bytescheduler",
+) -> ByteSchedulerCore:
+    """The paper's scheduler with explicit knob values."""
+    return ByteSchedulerCore(
+        env,
+        backend,
+        partition_bytes=partition_bytes,
+        credit_bytes=credit_bytes,
+        priority_mode=PRIORITY_LAYER,
+        notify_delay=notify_delay,
+        name=name,
+    )

@@ -1,0 +1,216 @@
+"""Framework plugins: Dependency Proxies and barrier crossing.
+
+A plugin (here: *adapter*) is the per-framework shim of §3.1 — it wraps
+the engine's communication operations into CommTasks and inserts the
+Dependency Proxies that let the Core reorder transmissions without
+breaking engine dependencies:
+
+* :class:`ByteSchedulerAdapter` (the paper's plugin)
+
+  - after each backward op it posts a *ready proxy* — starts when the
+    engine says the gradient exists, and fires ``notify_ready`` (§3.3);
+  - on barrier-free engines (MXNet) it posts a *held communication op*
+    whose completion is the Core's ``notify_finish`` — the engine's own
+    dependency tracking then delays the next iteration's forward
+    (Figure 6);
+  - on global-barrier engines (TensorFlow/PyTorch) the communication op
+    becomes *asynchronous* so the barrier passes immediately, and a
+    *forward proxy* per layer blocks the next iteration's forward until
+    the Core reports that layer finished — the "layer-wise
+    out-of-engine dependencies" of §3.4 (Figures 7 and 8).
+
+* :class:`VanillaAdapter` — the unmodified framework: communication ops
+  go straight to the (FIFO) scheduler when backward produces them, and
+  barrier engines wait for *all* of them before the next iteration.
+
+Both adapters speak the same interface, so
+:class:`~repro.training.TrainingJob` builds identical op programs for
+baseline and scheduled runs — only the glue differs, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SchedulerError
+from repro.frameworks.engine import Engine, EngineOp, OpKind
+from repro.core.commtask import CommTask
+from repro.core.scheduler import ByteSchedulerCore
+
+__all__ = ["ReadyCountdown", "Adapter", "VanillaAdapter", "ByteSchedulerAdapter", "make_adapter"]
+
+
+class ReadyCountdown:
+    """Fires ``task.notify_ready()`` after ``parties`` arrivals.
+
+    For collective backends every worker must have produced its gradient
+    before the all-reduce may be scheduled; per-worker backends use a
+    single party.
+    """
+
+    def __init__(self, task: CommTask, parties: int) -> None:
+        if parties < 1:
+            raise SchedulerError(f"parties must be >= 1, got {parties}")
+        self.task = task
+        self._remaining = parties
+
+    def arrive(self) -> None:
+        """One worker's gradient is ready."""
+        if self._remaining <= 0:
+            raise SchedulerError(f"countdown for {self.task.name} over-arrived")
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.task.notify_ready()
+
+    @property
+    def pending(self) -> int:
+        return self._remaining
+
+
+class Adapter:
+    """Common state for both adapters (one instance per worker engine)."""
+
+    def __init__(self, engine: Engine, core: ByteSchedulerCore, worker: Optional[str] = None) -> None:
+        self.engine = engine
+        self.core = core
+        self.worker = worker
+        self.barrier_engine = engine.has_barrier
+        self._gates: Dict[Tuple[int, int], EngineOp] = {}
+        self._barriers: Dict[int, EngineOp] = {}
+        self._tasks: Dict[Tuple[int, int], CommTask] = {}
+        self._iteration_comm_ops: Dict[int, List[EngineOp]] = {}
+
+    def _label(self, iteration: int, layer: int, what: str) -> str:
+        suffix = f"@{self.worker}" if self.worker else ""
+        return f"{what}{iteration}.{layer}{suffix}"
+
+    def post_comm(
+        self,
+        iteration: int,
+        layer: int,
+        bp_op: EngineOp,
+        task: CommTask,
+        countdown: ReadyCountdown,
+    ) -> EngineOp:
+        """Post this layer's communication after its backward op."""
+        raise NotImplementedError
+
+    def forward_gate(self, iteration: int, layer: int) -> Optional[EngineOp]:
+        """The op that must complete before forward of ``layer`` in
+        ``iteration`` may run (None for iteration 0)."""
+        raise NotImplementedError
+
+    def finish_iteration(self, iteration: int) -> Optional[EngineOp]:
+        """Post the global barrier, if this engine has one."""
+        if not self.barrier_engine:
+            return None
+        barrier = self.engine.post(
+            EngineOp(
+                self._label(iteration, 0, "barrier"),
+                OpKind.BARRIER,
+                deps=self._iteration_comm_ops.get(iteration, []),
+            )
+        )
+        self._barriers[iteration] = barrier
+        return barrier
+
+
+class VanillaAdapter(Adapter):
+    """The unmodified framework: FIFO dispatch, true barrier waits."""
+
+    def post_comm(self, iteration, layer, bp_op, task, countdown):
+        def _launch():
+            countdown.arrive()
+            return task.finished
+
+        op = self.engine.post(
+            EngineOp(
+                self._label(iteration, layer, "comm"),
+                OpKind.COMM,
+                deps=[bp_op],
+                launch=_launch,
+                async_launch=False,
+            )
+        )
+        self._tasks[(iteration, layer)] = task
+        self._iteration_comm_ops.setdefault(iteration, []).append(op)
+        if not self.barrier_engine:
+            self._gates[(iteration, layer)] = op
+        return op
+
+    def forward_gate(self, iteration, layer):
+        if iteration == 0:
+            return None
+        if self.barrier_engine:
+            return self._barriers[iteration - 1]
+        return self._gates[(iteration - 1, layer)]
+
+
+class ByteSchedulerAdapter(Adapter):
+    """The paper's plugin: proxies in, barrier crossed, Core in charge."""
+
+    def post_comm(self, iteration, layer, bp_op, task, countdown):
+        ready = self.engine.post(
+            EngineOp(
+                self._label(iteration, layer, "ready"),
+                OpKind.PROXY,
+                deps=[bp_op],
+                on_start=countdown.arrive,
+            )
+        )
+        self._tasks[(iteration, layer)] = task
+        if self.barrier_engine:
+            # Figure 7: the actual transfer runs out of engine; this op
+            # returns at launch so the global barrier can pass.
+            op = self.engine.post(
+                EngineOp(
+                    self._label(iteration, layer, "async_comm"),
+                    OpKind.COMM,
+                    deps=[ready],
+                    launch=lambda: task.finished,
+                    async_launch=True,
+                )
+            )
+        else:
+            # Figure 6: the communication op stays in-engine but is held
+            # until the Core reports notify_finish; the engine's own
+            # dependency tracking then gates the next forward.
+            op = self.engine.post(
+                EngineOp(
+                    self._label(iteration, layer, "held_comm"),
+                    OpKind.PROXY,
+                    deps=[ready],
+                    release=task.finished,
+                )
+            )
+            self._gates[(iteration, layer)] = op
+        self._iteration_comm_ops.setdefault(iteration, []).append(op)
+        return op
+
+    def forward_gate(self, iteration, layer):
+        if iteration == 0:
+            return None
+        if not self.barrier_engine:
+            return self._gates[(iteration - 1, layer)]
+        # Figure 8: a per-layer forward proxy enforces the cross-
+        # iteration dependency that the engine itself cannot track.
+        task = self._tasks[(iteration - 1, layer)]
+        return self.engine.post(
+            EngineOp(
+                self._label(iteration, layer, "fp_proxy"),
+                OpKind.PROXY,
+                deps=[self._barriers[iteration - 1]],
+                release=task.finished,
+            )
+        )
+
+
+def make_adapter(
+    scheduled: bool,
+    engine: Engine,
+    core: ByteSchedulerCore,
+    worker: Optional[str] = None,
+) -> Adapter:
+    """Build the right adapter for a run (scheduled vs vanilla)."""
+    cls = ByteSchedulerAdapter if scheduled else VanillaAdapter
+    return cls(engine, core, worker=worker)

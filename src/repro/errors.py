@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly.
+
+    Examples: running a finished environment backwards in time,
+    triggering an already-triggered event, or yielding a non-event from
+    a process generator.
+    """
+
+
+class Interrupt(ReproError):
+    """Raised inside a process generator when it is interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class ConfigError(ReproError):
+    """An experiment, cluster, or model configuration is invalid."""
+
+
+class SchedulerError(ReproError):
+    """The communication scheduler was driven through an illegal state.
+
+    Examples: starting a SubCommTask that was never marked ready, or
+    finishing one twice.
+    """
+
+
+class TuningError(ReproError):
+    """An auto-tuning search was configured or used incorrectly."""

@@ -1,0 +1,40 @@
+"""Per-figure/table experiment harnesses (see DESIGN.md §4 for the index)."""
+
+from repro.experiments import (
+    ablations,
+    bounds_check,
+    coscheduling,
+    extensions,
+    extra,
+    figure2,
+    figure4,
+    figure9,
+    figure10_12,
+    figure13,
+    figure14,
+    report,
+    table1,
+)
+from repro.experiments.common import PAPER_SETUPS, format_table, setup_cluster
+from repro.experiments.knobs import TUNED_KNOBS, tuned_knobs
+
+__all__ = [
+    "figure2",
+    "figure4",
+    "figure9",
+    "figure10_12",
+    "figure13",
+    "figure14",
+    "table1",
+    "report",
+    "extra",
+    "extensions",
+    "bounds_check",
+    "coscheduling",
+    "ablations",
+    "tuned_knobs",
+    "TUNED_KNOBS",
+    "PAPER_SETUPS",
+    "format_table",
+    "setup_cluster",
+]

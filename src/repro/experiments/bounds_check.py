@@ -1,0 +1,98 @@
+"""Bounds check: does the simulated gap respect the §4.1 analysis?
+
+For the all-reduce architecture (whose single collective pipe matches
+the analysis setting most directly), compare the simulated ByteScheduler
+iteration time against the Theorem-1 ideal plus the analytic delay
+bound, across a sweep of partition sizes δ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.analysis import allreduce_delay_bound, ideal_iteration_time
+from repro.experiments.common import format_table, setup_cluster
+from repro.models import get_model
+from repro.training import SchedulerSpec, run_experiment
+from repro.units import MB
+
+__all__ = ["BoundsCheck", "run", "format_result"]
+
+
+@dataclass
+class BoundsCheck:
+    """Measured iteration times vs the ideal + bound envelope."""
+
+    model: str
+    partitions: List[float] = field(default_factory=list)
+    measured: List[float] = field(default_factory=list)
+    ideal: float = 0.0
+    bounds: List[float] = field(default_factory=list)
+
+    def within_bound(self) -> List[bool]:
+        """Per-δ check: measured ≤ ideal + bound (with 5% headroom for
+        mechanisms outside the analysis, e.g. engine dispatch)."""
+        return [
+            measured <= (self.ideal + bound) * 1.05
+            for measured, bound in zip(self.measured, self.bounds)
+        ]
+
+
+def run(
+    model_name: str = "vgg16",
+    machines: int = 4,
+    partitions_mb: Sequence[float] = (4, 8, 16, 32, 64),
+    measure: int = 3,
+) -> BoundsCheck:
+    model = get_model(model_name)
+    cluster = setup_cluster("mxnet", "allreduce", "rdma", machines)
+
+    # Derive the fluid model's parameters from the built backend.
+    from repro.sim import Environment
+
+    backend = cluster.build(Environment(), model.layer_bytes()).backend
+    ranks = backend.ring_size
+    traffic_factor = 2 * (ranks - 1) / ranks
+    effective = backend.bandwidth * backend.transport.efficiency
+    fluid_rate = effective / traffic_factor
+    overhead = backend.sync_overhead()
+    allreduce_sizes = [traffic_factor * size for size in model.layer_bytes()]
+
+    check = BoundsCheck(model=model_name)
+    check.ideal = ideal_iteration_time(model, fluid_rate)
+    for partition_mb in partitions_mb:
+        partition = partition_mb * MB
+        spec = SchedulerSpec(
+            kind="bytescheduler",
+            partition_bytes=partition,
+            credit_bytes=4 * partition,
+        )
+        result = run_experiment(model, cluster, spec, measure=measure)
+        check.partitions.append(partition)
+        check.measured.append(result.iteration_time)
+        check.bounds.append(
+            allreduce_delay_bound(
+                allreduce_sizes, traffic_factor * partition, overhead, effective
+            )
+        )
+    return check
+
+
+def format_result(check: BoundsCheck) -> str:
+    headers = ["δ (MB)", "measured (ms)", "ideal (ms)", "ideal+bound (ms)", "ok?"]
+    rows = [
+        [
+            check.partitions[i] / MB,
+            check.measured[i] * 1e3,
+            check.ideal * 1e3,
+            (check.ideal + check.bounds[i]) * 1e3,
+            "yes" if ok else "NO",
+        ]
+        for i, ok in enumerate(check.within_bound())
+    ]
+    return format_table(
+        headers,
+        rows,
+        title=f"§4.1 bounds check ({check.model}, MXNet NCCL RDMA)",
+    )

@@ -1,0 +1,123 @@
+"""§7 co-scheduling: two training jobs sharing one cluster's network.
+
+The paper's discussion (§7) notes that ByteScheduler ignores resource
+sharing between jobs — "the performance impact is not negligible when
+the shared resource is the bottleneck" — and leaves cooperative
+scheduling as future work.  This experiment quantifies the baseline
+problem on the reproduction:
+
+* run two jobs alone on the cluster (isolated speeds);
+* run them together on the *same* fabric (every push and pull of both
+  jobs contends on the shared worker/server NICs);
+* report the per-job slowdown and the aggregate efficiency, for the
+  vanilla baseline and for ByteScheduler.
+
+ByteScheduler's per-job priority queues cannot coordinate across jobs
+(each Core only sees its own tensors), so interference remains — the
+measured gap is exactly the opportunity §7 points at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.experiments.common import format_table
+from repro.experiments.knobs import tuned_knobs
+from repro.models import get_model
+from repro.sim import Environment
+from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+
+__all__ = ["CoSchedulingResult", "run", "format_result"]
+
+
+@dataclass
+class CoSchedulingResult:
+    """Isolated vs co-located speeds for each scheduler kind."""
+
+    model_a: str
+    model_b: str
+    isolated: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    colocated: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def slowdown(self, kind: str, model: str) -> float:
+        """Fractional speed lost to sharing (0.4 = 40% slower)."""
+        return 1.0 - self.colocated[(kind, model)] / self.isolated[(kind, model)]
+
+
+def _spec(kind: str, model: str, cluster: ClusterSpec) -> SchedulerSpec:
+    if kind == "fifo":
+        return SchedulerSpec(kind="fifo")
+    partition, credit = tuned_knobs(model, cluster.arch, cluster.transport)
+    return SchedulerSpec(
+        kind="bytescheduler", partition_bytes=partition, credit_bytes=credit
+    )
+
+
+def run(
+    model_a: str = "vgg16",
+    model_b: str = "transformer",
+    machines: int = 4,
+    measure: int = 4,
+    warmup: int = 1,
+) -> CoSchedulingResult:
+    """Isolated and co-located runs for both scheduler kinds."""
+    cluster = ClusterSpec(
+        machines=machines, transport="rdma", arch="ps", framework="mxnet"
+    )
+    result = CoSchedulingResult(model_a=model_a, model_b=model_b)
+
+    for kind in ("fifo", "bytescheduler"):
+        # Isolated references.
+        for model in (model_a, model_b):
+            job = TrainingJob(get_model(model), cluster, _spec(kind, model, cluster))
+            result.isolated[(kind, model)] = job.run(
+                measure=measure, warmup=warmup
+            ).speed
+
+        # Co-located: one environment, one fabric, two tenants.
+        env = Environment()
+        first = TrainingJob(
+            get_model(model_a), cluster, _spec(kind, model_a, cluster), env=env
+        )
+        second = TrainingJob(
+            get_model(model_b),
+            cluster,
+            _spec(kind, model_b, cluster),
+            env=env,
+            shared_fabric=first.fabric,
+        )
+        total = measure + warmup
+        first.extend(total)
+        second.extend(total)
+        env.run()
+        for job, model in ((first, model_a), (second, model_b)):
+            times = job.markers[job.workers[0]]
+            elapsed = times[total - 1] - times[warmup - 1]
+            result.colocated[(kind, model)] = (
+                job.samples_per_iteration * measure / elapsed
+            )
+    return result
+
+
+def format_result(result: CoSchedulingResult) -> str:
+    rows = []
+    for kind in ("fifo", "bytescheduler"):
+        for model in (result.model_a, result.model_b):
+            rows.append(
+                [
+                    kind,
+                    model,
+                    result.isolated[(kind, model)],
+                    result.colocated[(kind, model)],
+                    f"-{result.slowdown(kind, model) * 100:.0f}%",
+                ]
+            )
+    return format_table(
+        ["scheduler", "job", "isolated", "co-located", "interference"],
+        rows,
+        title=(
+            "§7 co-scheduling: two jobs sharing one PS cluster's network "
+            "(cooperative cross-job scheduling is the open problem)"
+        ),
+    )

@@ -1,0 +1,113 @@
+"""The §6.2 prose results that are not a numbered figure.
+
+* ByteScheduler vs P3 on MXNet PS TCP ("outperforms P3 by 28%-43%").
+* AlexNet and VGG19 speedups on 32-GPU MXNet PS RDMA ("96% and 60%").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import (
+    baseline_speed,
+    bytescheduler_speed,
+    format_table,
+    p3_speed,
+    setup_cluster,
+)
+
+__all__ = [
+    "P3Comparison",
+    "run_p3_comparison",
+    "ExtraModels",
+    "run_extra_models",
+    "format_p3",
+    "format_extra_models",
+]
+
+
+@dataclass
+class P3Comparison:
+    """ByteScheduler vs P3 per model (MXNet PS TCP)."""
+
+    machines: int
+    rows: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def advantage(self, model: str) -> float:
+        """Fractional ByteScheduler gain over P3."""
+        row = self.rows[model]
+        return row["bytescheduler"] / row["p3"] - 1.0
+
+
+def run_p3_comparison(
+    models: Sequence[str] = ("vgg16", "resnet50", "transformer"),
+    machines: int = 4,
+    measure: int = 3,
+) -> P3Comparison:
+    """The §6.2 P3 comparison in P3's only supported setup."""
+    comparison = P3Comparison(machines=machines)
+    for model in models:
+        cluster = setup_cluster("mxnet", "ps", "tcp", machines)
+        comparison.rows[model] = {
+            "baseline": baseline_speed(model, cluster, measure=measure),
+            "p3": p3_speed(model, cluster, measure=measure),
+            "bytescheduler": bytescheduler_speed(model, cluster, measure=measure),
+        }
+    return comparison
+
+
+@dataclass
+class ExtraModels:
+    """AlexNet / VGG19 speedups (32-GPU MXNet PS RDMA paragraph)."""
+
+    speedups: Dict[str, float] = field(default_factory=dict)
+
+
+def run_extra_models(
+    models: Sequence[str] = ("alexnet", "vgg19"),
+    machines: int = 4,
+    measure: int = 3,
+) -> ExtraModels:
+    result = ExtraModels()
+    for model in models:
+        cluster = setup_cluster("mxnet", "ps", "rdma", machines)
+        base = baseline_speed(model, cluster, measure=measure)
+        tuned = bytescheduler_speed(model, cluster, measure=measure)
+        result.speedups[model] = tuned / base - 1.0
+    return result
+
+
+def format_p3(comparison: P3Comparison) -> str:
+    headers = ["model", "baseline", "p3", "bytescheduler", "BS vs P3"]
+    rows = [
+        [
+            model,
+            values["baseline"],
+            values["p3"],
+            values["bytescheduler"],
+            f"+{comparison.advantage(model) * 100:.0f}%",
+        ]
+        for model, values in comparison.rows.items()
+    ]
+    return format_table(
+        headers,
+        rows,
+        title=(
+            f"P3 comparison (MXNet PS TCP, {comparison.machines * 8} GPUs; "
+            "paper: BS beats P3 by 28%-43%)"
+        ),
+    )
+
+
+def format_extra_models(result: ExtraModels) -> str:
+    headers = ["model", "ByteScheduler speedup"]
+    rows = [
+        [model, f"+{speedup * 100:.0f}%"]
+        for model, speedup in result.speedups.items()
+    ]
+    return format_table(
+        headers,
+        rows,
+        title="Extra models, 32-GPU MXNet PS RDMA (paper: AlexNet +96%, VGG19 +60%)",
+    )

@@ -1,0 +1,126 @@
+"""Figures 10, 11, 12: the headline speed grid.
+
+One figure per model (VGG16 / ResNet50 / Transformer); per figure, the
+five setups of §6.1 over 8-64 GPUs with three lines each — baseline
+(vanilla framework), ByteScheduler (tuned knobs), and linear scaling —
+plus P3 on the MXNet-PS-TCP subplot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    PAPER_SETUPS,
+    baseline_speed,
+    bytescheduler_speed,
+    format_table,
+    p3_speed,
+    setup_cluster,
+)
+from repro.training import linear_scaling_speed
+
+__all__ = ["SetupGrid", "ModelGrid", "run_model", "format_model_grid", "speedup_band"]
+
+#: Machine counts shown on the paper's x-axis (8 GPUs per machine).
+DEFAULT_MACHINES = (1, 2, 4, 8)
+
+#: Only MXNet PS TCP gets the P3 line (P3's only supported setup).
+P3_SETUP = ("mxnet", "ps", "tcp")
+
+
+@dataclass
+class SetupGrid:
+    """One subplot: speeds per GPU count for each line."""
+
+    framework: str
+    arch: str
+    transport: str
+    gpus: List[int] = field(default_factory=list)
+    baseline: List[float] = field(default_factory=list)
+    bytescheduler: List[float] = field(default_factory=list)
+    linear: List[float] = field(default_factory=list)
+    p3: Optional[List[float]] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.framework}-{self.arch}-{self.transport}"
+
+    def speedups(self) -> List[float]:
+        """Per-scale ByteScheduler-vs-baseline fractional speedups."""
+        return [
+            bs / base - 1.0
+            for bs, base in zip(self.bytescheduler, self.baseline)
+        ]
+
+
+@dataclass
+class ModelGrid:
+    """One figure: all subplots for one model."""
+
+    model: str
+    setups: List[SetupGrid] = field(default_factory=list)
+
+
+def run_model(
+    model: str,
+    machines_list: Sequence[int] = DEFAULT_MACHINES,
+    setups: Sequence[Tuple[str, str, str]] = tuple(PAPER_SETUPS),
+    measure: int = 4,
+    include_p3: bool = True,
+    p3_measure: int = 2,
+) -> ModelGrid:
+    """Produce the full grid for one model (one paper figure)."""
+    grid = ModelGrid(model=model)
+    for framework, arch, transport in setups:
+        subplot = SetupGrid(framework=framework, arch=arch, transport=transport)
+        wants_p3 = include_p3 and (framework, arch, transport) == P3_SETUP
+        if wants_p3:
+            subplot.p3 = []
+        for machines in machines_list:
+            cluster = setup_cluster(framework, arch, transport, machines)
+            subplot.gpus.append(cluster.num_gpus)
+            subplot.baseline.append(baseline_speed(model, cluster, measure=measure))
+            subplot.bytescheduler.append(
+                bytescheduler_speed(model, cluster, measure=measure)
+            )
+            subplot.linear.append(linear_scaling_speed(model, cluster))
+            if wants_p3:
+                subplot.p3.append(p3_speed(model, cluster, measure=p3_measure))
+        grid.setups.append(subplot)
+    return grid
+
+
+def speedup_band(subplot: SetupGrid) -> Tuple[float, float]:
+    """(min, max) ByteScheduler speedup across scales — the numbers the
+    paper prints under each subplot."""
+    ups = subplot.speedups()
+    return min(ups), max(ups)
+
+
+def format_model_grid(grid: ModelGrid) -> str:
+    """Paper-style text rendering of one figure."""
+    blocks: List[str] = []
+    for subplot in grid.setups:
+        low, high = speedup_band(subplot)
+        headers = ["# GPUs", "baseline", "bytescheduler", "linear"]
+        rows: List[List[object]] = []
+        for index, gpus in enumerate(subplot.gpus):
+            row: List[object] = [
+                gpus,
+                subplot.baseline[index],
+                subplot.bytescheduler[index],
+                subplot.linear[index],
+            ]
+            if subplot.p3 is not None:
+                row.append(subplot.p3[index])
+            rows.append(row)
+        if subplot.p3 is not None:
+            headers = headers + ["p3"]
+        title = (
+            f"{grid.model} | {subplot.label} "
+            f"(ByteScheduler speedup {low * 100:.0f}%-{high * 100:.0f}%)"
+        )
+        blocks.append(format_table(headers, rows, title=title))
+    return "\n\n".join(blocks)

@@ -1,0 +1,151 @@
+"""Figure 14: search costs of the auto-tuning algorithms.
+
+How many profiled trials each searcher (BO, SGD-with-momentum, random,
+grid) needs to reach the optimal configuration, where "optimal" is what
+grid search identifies (§6.3).  Profiling is noisy; each stochastic
+method runs over several seeds and the figure reports mean ± standard
+deviation — BO should need the fewest trials *and* have the smallest
+spread.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import format_table, setup_cluster
+from repro.tuning import SearchSpace, make_searcher, simulated_objective
+from repro.units import KB, MB
+
+__all__ = ["SearchCost", "run_combo", "run", "format_result"]
+
+METHODS = ("bo", "sgd", "random", "grid")
+
+
+@dataclass
+class SearchCost:
+    """Trials-to-optimum statistics for one (model, arch) combo."""
+
+    model: str
+    arch: str
+    mean_trials: Dict[str, float] = field(default_factory=dict)
+    std_trials: Dict[str, float] = field(default_factory=dict)
+    optimum_speed: float = 0.0
+
+
+def _search_space(arch: str) -> SearchSpace:
+    if arch == "ps":
+        return SearchSpace(256 * KB, 16 * MB, 512 * KB, 128 * MB)
+    return SearchSpace(4 * MB, 128 * MB, 8 * MB, 512 * MB)
+
+
+def _trials_to_optimum(
+    method: str,
+    space: SearchSpace,
+    objective: Callable[[float, float], float],
+    optimum: float,
+    seed: int,
+    noise: float,
+    rtol: float,
+    cap: int,
+) -> int:
+    searcher = make_searcher(method, space, seed=seed)
+    rng = random.Random(seed ^ 0xA5A5)
+    for trial in range(1, cap + 1):
+        try:
+            point = searcher.suggest()
+        except Exception:
+            return cap  # grid exhausted without hitting the optimum
+        speed = objective(*point)
+        noisy = speed * max(0.0, 1.0 + rng.gauss(0.0, noise))
+        searcher.observe(point, noisy)
+        if speed >= optimum * (1.0 - rtol):
+            return trial
+    return cap
+
+
+def run_combo(
+    model: str,
+    arch: str,
+    machines: int = 2,
+    seeds: Sequence[int] = (0, 1, 2),
+    noise: float = 0.02,
+    rtol: float = 0.02,
+    cap: int = 40,
+    grid_resolution: int = 6,
+    measure: int = 2,
+    methods: Sequence[str] = METHODS,
+) -> SearchCost:
+    """Search-cost comparison for one (model, arch) pair.
+
+    The objective is memoised: searchers frequently revisit nearby
+    points, and a profiled configuration costs a full simulated run.
+    """
+    cluster = setup_cluster("mxnet", arch, "rdma", machines)
+    raw_objective = simulated_objective(model, cluster, measure=measure, warmup=1)
+    cache: Dict[Tuple[float, float], float] = {}
+
+    def objective(partition: float, credit: float) -> float:
+        key = (round(partition), round(credit))
+        if key not in cache:
+            cache[key] = raw_objective(partition, credit)
+        return cache[key]
+
+    space = _search_space(arch)
+    # Ground truth: the best point on the reference grid.
+    grid_points = space.grid(grid_resolution)
+    optimum = max(objective(*point) for point in grid_points)
+
+    cost = SearchCost(model=model, arch=arch, optimum_speed=optimum)
+    for method in methods:
+        if method == "grid":
+            # Deterministic: trials = position of the optimum in scan order.
+            searcher = make_searcher("grid", space)
+            trials = None
+            for index in range(len(grid_points)):
+                point = searcher.suggest()
+                speed = objective(*point)
+                searcher.observe(point, speed)
+                if speed >= optimum * (1.0 - rtol) and trials is None:
+                    trials = index + 1
+            samples = [float(trials or len(grid_points))]
+        else:
+            samples = [
+                float(
+                    _trials_to_optimum(
+                        method, space, objective, optimum, seed, noise, rtol, cap
+                    )
+                )
+                for seed in seeds
+            ]
+        cost.mean_trials[method] = statistics.mean(samples)
+        cost.std_trials[method] = (
+            statistics.stdev(samples) if len(samples) > 1 else 0.0
+        )
+    return cost
+
+
+def run(
+    models: Sequence[str] = ("vgg16", "transformer"),
+    archs: Sequence[str] = ("ps", "allreduce"),
+    **kwargs,
+) -> List[SearchCost]:
+    """The four (model, arch) bars of Figure 14."""
+    return [run_combo(model, arch, **kwargs) for model in models for arch in archs]
+
+
+def format_result(costs: List[SearchCost]) -> str:
+    headers = ["model", "arch"] + [f"{m} (trials)" for m in METHODS]
+    rows = []
+    for cost in costs:
+        row: List[object] = [cost.model, cost.arch]
+        for method in METHODS:
+            mean = cost.mean_trials.get(method)
+            std = cost.std_trials.get(method, 0.0)
+            row.append(f"{mean:.1f} ± {std:.1f}" if mean is not None else "-")
+        rows.append(row)
+    return format_table(
+        headers, rows, title="Figure 14: search cost to reach the grid optimum"
+    )

@@ -1,0 +1,107 @@
+"""Figure 4: FIFO training speed vs partition size and vs credit size.
+
+VGG16, MXNet PS over TCP, *FIFO* transmission order (the scheduling
+contribution is deliberately off — this figure motivates auto-tuning by
+showing the knobs matter even without priority scheduling), at 1 Gbps
+and 10 Gbps.  Small partitions pay per-partition overhead θ; small
+credits degenerate to stop-and-wait and idle the uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import Series, format_table, setup_cluster
+from repro.training import SchedulerSpec, run_experiment
+from repro.units import KB
+
+__all__ = ["Figure4Result", "run_partition_sweep", "run_credit_sweep", "run", "format_result"]
+
+#: Paper x-axis: roughly 100-700 KB.
+DEFAULT_SIZES_KB = (100, 160, 250, 400, 550, 700)
+DEFAULT_BANDWIDTHS = (1.0, 10.0)
+
+
+@dataclass
+class Figure4Result:
+    """Speed curves per bandwidth for each knob sweep."""
+
+    partition_curves: Dict[float, Series] = field(default_factory=dict)
+    credit_curves: Dict[float, Series] = field(default_factory=dict)
+
+
+def _sweep(
+    model: str,
+    bandwidth_gbps: float,
+    sizes_kb: Sequence[float],
+    knob: str,
+    machines: int,
+    measure: int,
+) -> Series:
+    series = Series(name=f"{bandwidth_gbps:g} Gbps")
+    cluster = setup_cluster("mxnet", "ps", "tcp", machines, bandwidth_gbps)
+    for size_kb in sizes_kb:
+        size = size_kb * KB
+        if knob == "partition":
+            spec = SchedulerSpec(kind="fifo", partition_bytes=size, credit_bytes=8 * size)
+        else:
+            # Credit sweep: fixed small partition, varying window.
+            spec = SchedulerSpec(kind="fifo", partition_bytes=100 * KB, credit_bytes=size)
+        result = run_experiment(model, cluster, spec, measure=measure, warmup=1)
+        series.add(size_kb, result.speed)
+    return series
+
+
+def run_partition_sweep(
+    model: str = "vgg16",
+    bandwidths=DEFAULT_BANDWIDTHS,
+    sizes_kb=DEFAULT_SIZES_KB,
+    machines: int = 2,
+    measure: int = 2,
+) -> Dict[float, Series]:
+    """Figure 4(a): speed vs partition size at each bandwidth."""
+    return {
+        bw: _sweep(model, bw, sizes_kb, "partition", machines, measure)
+        for bw in bandwidths
+    }
+
+
+def run_credit_sweep(
+    model: str = "vgg16",
+    bandwidths=DEFAULT_BANDWIDTHS,
+    sizes_kb=DEFAULT_SIZES_KB,
+    machines: int = 2,
+    measure: int = 2,
+) -> Dict[float, Series]:
+    """Figure 4(b): speed vs credit size at each bandwidth."""
+    return {
+        bw: _sweep(model, bw, sizes_kb, "credit", machines, measure)
+        for bw in bandwidths
+    }
+
+
+def run(**kwargs) -> Figure4Result:
+    """Both sweeps."""
+    return Figure4Result(
+        partition_curves=run_partition_sweep(**kwargs),
+        credit_curves=run_credit_sweep(**kwargs),
+    )
+
+
+def format_result(result: Figure4Result) -> str:
+    """Two paper-style tables (one per subplot)."""
+    blocks: List[str] = []
+    for title, curves in (
+        ("Figure 4(a): FIFO speed vs partition size (VGG16, MXNet PS TCP)", result.partition_curves),
+        ("Figure 4(b): FIFO speed vs credit size (VGG16, MXNet PS TCP)", result.credit_curves),
+    ):
+        bandwidths = sorted(curves)
+        sizes = curves[bandwidths[0]].x
+        headers = ["size (KB)"] + [f"{bw:g} Gbps (img/s)" for bw in bandwidths]
+        rows = [
+            [sizes[i]] + [curves[bw].y[i] for bw in bandwidths]
+            for i in range(len(sizes))
+        ]
+        blocks.append(format_table(headers, rows, title=title))
+    return "\n\n".join(blocks)

@@ -1,0 +1,71 @@
+"""Pre-tuned (partition, credit) knobs per setup.
+
+These values were produced by the included tuner (grid sweep refined by
+Bayesian Optimization) against this library's simulated substrate at
+100 Gbps — the same role Table 1's values play for the paper's testbed.
+Absolute values differ from Table 1 because the cost constants differ,
+but the structure the paper reports holds: all-reduce wants partitions
+an order of magnitude larger than PS, and the best knobs vary per model.
+
+``tuned_knobs`` falls back to a live auto-tuning run for setups not in
+the table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.units import MB
+
+__all__ = ["TUNED_KNOBS", "tuned_knobs"]
+
+#: (model, arch, transport) -> (partition_bytes, credit_bytes)
+TUNED_KNOBS: Dict[Tuple[str, str, str], Tuple[float, float]] = {
+    ("vgg16", "ps", "tcp"): (2 * MB, 32 * MB),
+    ("vgg16", "ps", "rdma"): (2 * MB, 8 * MB),
+    ("vgg16", "allreduce", "tcp"): (96 * MB, 192 * MB),
+    ("vgg16", "allreduce", "rdma"): (16 * MB, 32 * MB),
+    ("resnet50", "ps", "tcp"): (0.5 * MB, 2 * MB),
+    ("resnet50", "ps", "rdma"): (0.5 * MB, 2 * MB),
+    ("resnet50", "allreduce", "tcp"): (8 * MB, 16 * MB),
+    ("resnet50", "allreduce", "rdma"): (8 * MB, 16 * MB),
+    ("transformer", "ps", "tcp"): (2 * MB, 16 * MB),
+    ("transformer", "ps", "rdma"): (2 * MB, 16 * MB),
+    ("transformer", "allreduce", "tcp"): (96 * MB, 192 * MB),
+    ("transformer", "allreduce", "rdma"): (96 * MB, 192 * MB),
+    # §6.2's extra models (32-GPU MXNet PS RDMA paragraph).
+    ("alexnet", "ps", "rdma"): (1 * MB, 8 * MB),
+    ("alexnet", "ps", "tcp"): (1 * MB, 16 * MB),
+    ("vgg19", "ps", "rdma"): (2 * MB, 8 * MB),
+    ("vgg19", "ps", "tcp"): (2 * MB, 32 * MB),
+}
+
+
+def tuned_knobs(
+    model: str, arch: str, transport: str, machines: int = 4
+) -> Tuple[float, float]:
+    """Tuned (partition_bytes, credit_bytes) for a setup.
+
+    Table lookup first; unknown setups are tuned live with the BO
+    auto-tuner (15 trials against short simulated runs).  The table was
+    tuned at 4 machines; for all-reduce the per-collective sync cost
+    grows with the ring, so the optimal partition scales up with it
+    (the paper re-tunes per setup — this is the table analogue).
+    """
+    key = (model, arch, transport)
+    if key in TUNED_KNOBS:
+        partition, credit = TUNED_KNOBS[key]
+        if arch == "allreduce" and machines != 4:
+            scale = (machines / 4.0) ** 0.75
+            partition, credit = partition * scale, credit * scale
+        return partition, credit
+
+    from repro.training import ClusterSpec
+    from repro.tuning import AutoTuner, simulated_objective
+
+    cluster = ClusterSpec(machines=machines, transport=transport, arch=arch)
+    tuner = AutoTuner(
+        simulated_objective(model, cluster, measure=2, warmup=1), method="bo"
+    )
+    result = tuner.run(max_trials=15)
+    return result.best_point

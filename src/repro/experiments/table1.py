@@ -1,0 +1,86 @@
+"""Table 1: best partition and credit sizes per model and architecture.
+
+32 GPUs (4 machines), 100 Gbps, MXNet PS RDMA vs MXNet NCCL RDMA.  The
+paper's three observations must hold on the reproduction too:
+
+1. best configurations differ across setups;
+2. NCCL wants much larger partitions/credits than PS (collective sync
+   cost ≫ per-message RPC cost);
+3. the best knobs differ across models (compute-heavy ResNet50 prefers
+   timely preemption, communication-heavy VGG16 prefers low overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.common import format_table, setup_cluster
+from repro.tuning import AutoTuner, SearchSpace, simulated_objective
+from repro.units import KB, MB
+
+__all__ = ["Table1Result", "run", "format_result"]
+
+
+@dataclass
+class Table1Result:
+    """(partition MB, credit MB) per (arch, model)."""
+
+    cells: Dict[Tuple[str, str], Tuple[float, float]] = field(default_factory=dict)
+
+    def partition_mb(self, arch: str, model: str) -> float:
+        return self.cells[(arch, model)][0] / MB
+
+    def credit_mb(self, arch: str, model: str) -> float:
+        return self.cells[(arch, model)][1] / MB
+
+
+def _best_knobs(
+    model: str, arch: str, machines: int, trials: int, seed: int
+) -> Tuple[float, float]:
+    cluster = setup_cluster("mxnet", arch, "rdma", machines)
+    if arch == "ps":
+        space = SearchSpace(256 * KB, 16 * MB, 512 * KB, 128 * MB)
+    else:
+        space = SearchSpace(4 * MB, 128 * MB, 8 * MB, 512 * MB)
+    tuner = AutoTuner(
+        simulated_objective(model, cluster, measure=2, warmup=1),
+        space=space,
+        method="bo",
+        seed=seed,
+    )
+    return tuner.run(max_trials=trials).best_point
+
+
+def run(
+    models: Sequence[str] = ("vgg16", "resnet50", "transformer"),
+    archs: Sequence[str] = ("ps", "allreduce"),
+    machines: int = 4,
+    trials: int = 12,
+    seed: int = 0,
+) -> Table1Result:
+    """Tune every (arch, model) cell."""
+    result = Table1Result()
+    for arch in archs:
+        for model in models:
+            result.cells[(arch, model)] = _best_knobs(
+                model, arch, machines, trials, seed
+            )
+    return result
+
+
+def format_result(result: Table1Result) -> str:
+    models = sorted({model for _arch, model in result.cells})
+    archs = sorted({arch for arch, _model in result.cells})
+    headers = ["(partition, credit) MB"] + models
+    rows = []
+    label = {"ps": "MXNet PS RDMA", "allreduce": "MXNet NCCL RDMA"}
+    for arch in archs:
+        row: List[object] = [label.get(arch, arch)]
+        for model in models:
+            row.append(
+                f"({result.partition_mb(arch, model):.1f}, "
+                f"{result.credit_mb(arch, model):.1f})"
+            )
+        rows.append(row)
+    return format_table(headers, rows, title="Table 1: best partition/credit sizes")

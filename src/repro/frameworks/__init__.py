@@ -1,0 +1,41 @@
+"""Simulated ML framework engines (the paper's three styles)."""
+
+from repro.frameworks.declarative import (
+    DeclarativeEngine,
+    MXNetEngine,
+    TensorFlowEngine,
+)
+from repro.frameworks.engine import Engine, EngineOp, OpKind
+from repro.frameworks.imperative import ImperativeEngine, PyTorchEngine
+
+__all__ = [
+    "Engine",
+    "EngineOp",
+    "OpKind",
+    "DeclarativeEngine",
+    "ImperativeEngine",
+    "MXNetEngine",
+    "TensorFlowEngine",
+    "PyTorchEngine",
+    "make_engine",
+    "ENGINE_STYLES",
+]
+
+ENGINE_STYLES = {
+    "mxnet": MXNetEngine,
+    "tensorflow": TensorFlowEngine,
+    "pytorch": PyTorchEngine,
+}
+
+
+def make_engine(style: str, env, name=None):
+    """Build an engine by framework name ('mxnet', 'tensorflow',
+    'pytorch')."""
+    from repro.errors import ConfigError
+
+    try:
+        cls = ENGINE_STYLES[style]
+    except KeyError:
+        known = ", ".join(sorted(ENGINE_STYLES))
+        raise ConfigError(f"unknown engine style {style!r}; known: {known}") from None
+    return cls(env, name or style)

@@ -1,0 +1,65 @@
+"""Declarative (dataflow-graph) engine execution.
+
+MXNet- and TensorFlow-style engines "decide the execution order based
+on DAG dependencies" (§2.3): every posted op runs as soon as all its
+dependencies have completed.  Compute ops additionally serialise on the
+worker's GPU, requested in program order — which realises Theorem 1's
+assumption 2 (the GPU runs a ready op without preemption, in chain
+order).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.engine import Engine, EngineOp, OpKind
+from repro.sim import Environment, PriorityResource
+
+__all__ = ["DeclarativeEngine", "MXNetEngine", "TensorFlowEngine"]
+
+
+class DeclarativeEngine(Engine):
+    """Dependency-driven executor."""
+
+    style = "declarative"
+
+    def __init__(self, env: Environment, name: str = "declarative") -> None:
+        super().__init__(env, name)
+        self.gpu = PriorityResource(env, capacity=1)
+
+    def _accept(self, op: EngineOp) -> None:
+        self.env.process(self._exec(op))
+
+    def _exec(self, op: EngineOp):
+        deps = op.dep_events()
+        if deps:
+            yield self.env.all_of(deps)
+        op.started_at = self.env.now
+        if op.kind is OpKind.COMPUTE:
+            with self.gpu.request(priority=op.seq) as grant:
+                yield grant
+                op.started_at = self.env.now
+                yield from self._run_op_body(op)
+        else:
+            yield from self._run_op_body(op)
+        op.finished_at = self.env.now
+        op.done.succeed(op)
+
+
+class MXNetEngine(DeclarativeEngine):
+    """MXNet-style: declarative, *no* inter-iteration barrier — the
+    engine tracks the pull→forward dependency across iterations itself
+    (Figure 1)."""
+
+    has_barrier = False
+
+    def __init__(self, env: Environment, name: str = "mxnet") -> None:
+        super().__init__(env, name)
+
+
+class TensorFlowEngine(DeclarativeEngine):
+    """TensorFlow-style: declarative *with* a global barrier between
+    iterations (the per-step session.run boundary, Figure 3)."""
+
+    has_barrier = True
+
+    def __init__(self, env: Environment, name: str = "tensorflow") -> None:
+        super().__init__(env, name)

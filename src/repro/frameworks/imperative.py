@@ -1,0 +1,72 @@
+"""Imperative (eager) engine execution.
+
+PyTorch-style engines "run operations in a FIFO manner" (§2.3): a
+single driver thread executes ops strictly in the order they were
+posted.  Communication launches never block the driver (they are
+asynchronous handles); PROXY ops *do* block it — that is exactly how
+ByteScheduler's forward pre-hooks gate each layer (§3.4, "we also add
+hooks to forward propagation ... so that forward computation of each
+layer will not start until the all-reduce of this layer is completed").
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.engine import Engine, EngineOp, OpKind
+from repro.sim import Environment, Store
+
+__all__ = ["ImperativeEngine", "PyTorchEngine"]
+
+
+class ImperativeEngine(Engine):
+    """Single-driver sequential executor."""
+
+    style = "imperative"
+
+    def __init__(self, env: Environment, name: str = "imperative") -> None:
+        super().__init__(env, name)
+        self._program = Store(env)
+        self._driver = env.process(self._run())
+
+    def _accept(self, op: EngineOp) -> None:
+        self._program.put(op)
+
+    def _run(self):
+        while True:
+            op: EngineOp = yield self._program.get()
+            op.started_at = self.env.now
+            if op.kind is OpKind.COMM:
+                # Launch asynchronously; the driver moves straight on.
+                completion = op.launch()
+                if op.async_launch or completion is None:
+                    op.finished_at = self.env.now
+                    op.done.succeed(op)
+                else:
+                    completion.callbacks.append(self._completer(op))
+                continue
+            if op.kind is OpKind.BARRIER:
+                deps = op.dep_events()
+                if deps:
+                    yield self.env.all_of(deps)
+            else:
+                # COMPUTE blocks for its duration; PROXY blocks on its
+                # release event (a hook executing on the driver).
+                yield from self._run_op_body(op)
+            op.finished_at = self.env.now
+            op.done.succeed(op)
+
+    def _completer(self, op: EngineOp):
+        def _on_complete(_evt) -> None:
+            op.finished_at = self.env.now
+            op.done.succeed(op)
+
+        return _on_complete
+
+
+class PyTorchEngine(ImperativeEngine):
+    """PyTorch-style: imperative, with the optimizer-step barrier that
+    waits for all outstanding gradient synchronisation (Figure 3)."""
+
+    has_barrier = True
+
+    def __init__(self, env: Environment, name: str = "pytorch") -> None:
+        super().__init__(env, name)

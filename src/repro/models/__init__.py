@@ -1,0 +1,40 @@
+"""DNN model descriptions: the zoo plus synthetic generators."""
+
+from repro.models.base import BYTES_PER_PARAM, Layer, ModelSpec, build_model
+from repro.models.synthetic import (
+    custom_model,
+    figure2_model,
+    random_model,
+    uniform_model,
+)
+from repro.models.zoo import (
+    MODEL_BUILDERS,
+    alexnet,
+    bert_large,
+    get_model,
+    gpt2,
+    resnet50,
+    transformer,
+    vgg16,
+    vgg19,
+)
+
+__all__ = [
+    "Layer",
+    "ModelSpec",
+    "build_model",
+    "BYTES_PER_PARAM",
+    "vgg16",
+    "vgg19",
+    "resnet50",
+    "alexnet",
+    "transformer",
+    "bert_large",
+    "gpt2",
+    "get_model",
+    "MODEL_BUILDERS",
+    "uniform_model",
+    "custom_model",
+    "random_model",
+    "figure2_model",
+]

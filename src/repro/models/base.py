@@ -1,0 +1,165 @@
+"""Model descriptions as the scheduler sees them.
+
+Communication scheduling never looks inside a tensor; the entire problem
+is defined by, per layer: how many bytes of gradient/parameter it
+carries and how long its forward and backward computations take
+(Figure 1 of the paper).  A :class:`ModelSpec` is exactly that list,
+ordered from the input (layer 0) to the output.
+
+Conventions:
+
+* Forward propagation runs layer 0 → N−1; backward runs N−1 → 0.
+* Layer *i*'s gradient becomes ready when its backward op finishes, so
+  gradients become ready in *decreasing* index order.
+* The next iteration's forward of layer *i* needs layer *i*'s
+  synchronised parameters — which is why the paper gives layers near
+  the input (small index) the *highest* priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["Layer", "ModelSpec"]
+
+#: Bytes per parameter (fp32 training, as in the paper's benchmarks).
+BYTES_PER_PARAM = 4
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One schedulable layer: a tensor plus its compute durations.
+
+    ``splittable`` is False for tensors the *vanilla* framework cannot
+    slice across servers (e.g. MXNet row-sparse embeddings) — the
+    baseline then moves them whole, one of the imbalance sources §6.2
+    observes.  ByteScheduler partitions them regardless.
+    """
+
+    index: int
+    name: str
+    param_bytes: int
+    fp_time: float
+    bp_time: float
+    splittable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigError(f"layer index must be >= 0, got {self.index}")
+        if self.param_bytes < 0:
+            raise ConfigError(
+                f"layer {self.name!r}: param_bytes must be >= 0"
+            )
+        if self.fp_time < 0 or self.bp_time < 0:
+            raise ConfigError(f"layer {self.name!r}: negative compute time")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """An ordered stack of layers plus workload metadata.
+
+    Attributes:
+        name: model identifier ("vgg16", ...).
+        layers: layers ordered input → output.
+        batch_size: per-GPU samples per iteration.
+        sample_unit: what a "sample" is for speed reporting ("images"
+            or "tokens").
+    """
+
+    name: str
+    layers: Tuple[Layer, ...]
+    batch_size: int
+    sample_unit: str = "images"
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ConfigError(f"model {self.name!r} has no layers")
+        if self.batch_size <= 0:
+            raise ConfigError(f"model {self.name!r}: batch_size must be > 0")
+        for position, layer in enumerate(self.layers):
+            if layer.index != position:
+                raise ConfigError(
+                    f"model {self.name!r}: layer {layer.name!r} has index "
+                    f"{layer.index}, expected {position}"
+                )
+
+    @property
+    def num_layers(self) -> int:
+        """Number of schedulable layers."""
+        return len(self.layers)
+
+    @property
+    def total_bytes(self) -> int:
+        """Model size in bytes (= per-iteration gradient volume)."""
+        return sum(layer.param_bytes for layer in self.layers)
+
+    @property
+    def largest_tensor_bytes(self) -> int:
+        """Size of the biggest single layer tensor."""
+        return max(layer.param_bytes for layer in self.layers)
+
+    @property
+    def fp_total(self) -> float:
+        """Total forward time for one iteration (seconds)."""
+        return sum(layer.fp_time for layer in self.layers)
+
+    @property
+    def bp_total(self) -> float:
+        """Total backward time for one iteration (seconds)."""
+        return sum(layer.bp_time for layer in self.layers)
+
+    @property
+    def compute_time(self) -> float:
+        """Pure-compute iteration time (no communication)."""
+        return self.fp_total + self.bp_total
+
+    def layer_bytes(self) -> Tuple[int, ...]:
+        """Per-layer tensor sizes, input → output."""
+        return tuple(layer.param_bytes for layer in self.layers)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ModelSpec {self.name}: {self.num_layers} layers, "
+            f"{self.total_bytes / (1024 * 1024):.1f} MiB, "
+            f"compute {self.compute_time * 1e3:.1f} ms>"
+        )
+
+
+def build_model(
+    name: str,
+    entries: Iterable[Tuple[str, int, float]],
+    fp_total: float,
+    bp_total: float,
+    batch_size: int,
+    sample_unit: str = "images",
+) -> ModelSpec:
+    """Build a :class:`ModelSpec` from (name, params, flop_weight) rows.
+
+    ``entries`` lists layers input → output with parameter *counts* (not
+    bytes) and a relative compute weight — optionally followed by a
+    ``splittable`` flag (default True).  The weights are normalised so
+    forward/backward times sum to ``fp_total``/``bp_total`` seconds.
+    """
+    rows = [(row + (True,))[:4] for row in entries]
+    if not rows:
+        raise ConfigError(f"model {name!r} has no layer entries")
+    weight_sum = sum(max(weight, 0.0) for _n, _p, weight, _s in rows)
+    if weight_sum <= 0:
+        raise ConfigError(f"model {name!r}: all compute weights are zero")
+    layers = []
+    for index, (layer_name, params, weight, splittable) in enumerate(rows):
+        share = max(weight, 0.0) / weight_sum
+        layers.append(
+            Layer(
+                index=index,
+                name=layer_name,
+                param_bytes=params * BYTES_PER_PARAM,
+                fp_time=fp_total * share,
+                bp_time=bp_total * share,
+                splittable=splittable,
+            )
+        )
+    return ModelSpec(name, tuple(layers), batch_size, sample_unit)

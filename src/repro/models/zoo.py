@@ -1,0 +1,229 @@
+"""The benchmark model zoo.
+
+Per-layer parameter counts are the published architecture numbers
+(VGG16/VGG19 [Simonyan & Zisserman 2014], ResNet50 [He et al. 2016],
+AlexNet [Krizhevsky et al. 2012], Transformer base [Vaswani et al.
+2017]).  Compute times are calibrated to public single-V100 training
+throughput at the paper's batch sizes (VGG16/ResNet50/AlexNet/VGG19:
+batch 32 images; Transformer: batch 512 tokens), split ~1:2 between
+forward and backward and distributed across layers by relative FLOPs.
+
+Only the *(tensor sizes, compute timeline)* pair matters to the
+scheduler, and those match the real models: e.g. VGG16's fc6 tensor is
+411 MB — the ">400 MB" tensor the paper calls out — while its smallest
+tensor is a few KB.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ConfigError
+from repro.models.base import ModelSpec, build_model
+
+__all__ = [
+    "vgg16",
+    "vgg19",
+    "resnet50",
+    "alexnet",
+    "transformer",
+    "bert_large",
+    "gpt2",
+    "get_model",
+    "MODEL_BUILDERS",
+]
+
+
+def vgg16() -> ModelSpec:
+    """VGG16: 138.4M params (553 MB); huge fc tensors dominate."""
+    entries = [
+        # (name, params, relative forward FLOPs)
+        ("conv1_1", 1_792, 0.09),
+        ("conv1_2", 36_928, 1.85),
+        ("conv2_1", 73_856, 0.92),
+        ("conv2_2", 147_584, 1.85),
+        ("conv3_1", 295_168, 0.92),
+        ("conv3_2", 590_080, 1.85),
+        ("conv3_3", 590_080, 1.85),
+        ("conv4_1", 1_180_160, 0.92),
+        ("conv4_2", 2_359_808, 1.85),
+        ("conv4_3", 2_359_808, 1.85),
+        ("conv5_1", 2_359_808, 0.46),
+        ("conv5_2", 2_359_808, 0.46),
+        ("conv5_3", 2_359_808, 0.46),
+        ("fc6", 102_764_544, 0.21),
+        ("fc7", 16_781_312, 0.03),
+        ("fc8", 4_097_000, 0.01),
+    ]
+    # ~230 images/s on one V100 at batch 32 -> 139 ms/iteration.
+    return build_model("vgg16", entries, fp_total=0.046, bp_total=0.093, batch_size=32)
+
+
+def vgg19() -> ModelSpec:
+    """VGG19: VGG16 plus one extra conv in stages 3-5 (143.7M params)."""
+    entries = [
+        ("conv1_1", 1_792, 0.09),
+        ("conv1_2", 36_928, 1.85),
+        ("conv2_1", 73_856, 0.92),
+        ("conv2_2", 147_584, 1.85),
+        ("conv3_1", 295_168, 0.92),
+        ("conv3_2", 590_080, 1.85),
+        ("conv3_3", 590_080, 1.85),
+        ("conv3_4", 590_080, 1.85),
+        ("conv4_1", 1_180_160, 0.92),
+        ("conv4_2", 2_359_808, 1.85),
+        ("conv4_3", 2_359_808, 1.85),
+        ("conv4_4", 2_359_808, 1.85),
+        ("conv5_1", 2_359_808, 0.46),
+        ("conv5_2", 2_359_808, 0.46),
+        ("conv5_3", 2_359_808, 0.46),
+        ("conv5_4", 2_359_808, 0.46),
+        ("fc6", 102_764_544, 0.21),
+        ("fc7", 16_781_312, 0.03),
+        ("fc8", 4_097_000, 0.01),
+    ]
+    # ~195 images/s at batch 32 -> 164 ms/iteration.
+    return build_model("vgg19", entries, fp_total=0.055, bp_total=0.109, batch_size=32)
+
+
+def _resnet_stage(
+    entries: List[Tuple],
+    stage: int,
+    blocks: int,
+    first_params: int,
+    rest_params: int,
+    weight: float,
+) -> None:
+    """Append one ResNet stage: a downsampling block then identity blocks."""
+    entries.append((f"stage{stage}_block1", first_params, weight))
+    for block in range(2, blocks + 1):
+        entries.append((f"stage{stage}_block{block}", rest_params, weight))
+
+
+def resnet50() -> ModelSpec:
+    """ResNet50: 25.5M params (102 MB); many small-to-medium tensors.
+
+    Modelled at bottleneck-block granularity (1 stem + 16 blocks + fc =
+    18 schedulable layers), which is how gradient tensors coalesce in
+    practice [36].
+    """
+    entries: List[Tuple] = [("conv1", 9_408 + 128, 0.8)]
+    # (blocks, params of first block incl. projection, params of rest)
+    _resnet_stage(entries, 2, 3, 75_008, 70_400, 1.0)
+    _resnet_stage(entries, 3, 4, 379_392, 280_064, 1.0)
+    _resnet_stage(entries, 4, 6, 1_512_448, 1_117_184, 1.0)
+    _resnet_stage(entries, 5, 3, 6_039_552, 4_462_592, 1.0)
+    entries.append(("fc", 2_049_000, 0.1))
+    # ~360 images/s at batch 32 -> 89 ms/iteration.
+    return build_model("resnet50", entries, fp_total=0.030, bp_total=0.059, batch_size=32)
+
+
+def alexnet() -> ModelSpec:
+    """AlexNet: 61.0M params (244 MB) with very little compute —
+    the most communication-bound model in the zoo."""
+    entries = [
+        ("conv1", 34_944, 0.7),
+        ("conv2", 307_392, 1.5),
+        ("conv3", 884_992, 1.0),
+        ("conv4", 663_936, 0.8),
+        ("conv5", 442_624, 0.6),
+        ("fc6", 37_752_832, 0.4),
+        ("fc7", 16_781_312, 0.2),
+        ("fc8", 4_097_000, 0.05),
+    ]
+    # ~1450 images/s at batch 32 -> 22 ms/iteration.
+    return build_model("alexnet", entries, fp_total=0.0073, bp_total=0.0147, batch_size=32)
+
+
+def transformer() -> ModelSpec:
+    """Transformer base: 63.0M params (252 MB).
+
+    Layer 0 is the (shared) embedding — a single 75 MB tensor that is
+    both the first thing the next iteration's forward needs and one of
+    the largest tensors, which makes priority scheduling especially
+    valuable for this model.
+    """
+    entries: List[Tuple] = [
+        # Row-sparse in MXNet: the vanilla kvstore cannot slice it.
+        ("embedding", 18_944_000, 0.3, False),
+    ]
+    for index in range(1, 7):
+        entries.append((f"encoder{index}", 3_152_384, 1.0))
+    for index in range(1, 7):
+        entries.append((f"decoder{index}", 4_204_032, 1.4))
+    # ~3400 tokens/s on one V100 at batch 512 -> 150 ms/iteration.
+    return build_model(
+        "transformer",
+        entries,
+        fp_total=0.050,
+        bp_total=0.100,
+        batch_size=512,
+        sample_unit="tokens",
+    )
+
+
+def bert_large() -> ModelSpec:
+    """BERT-Large: 340M params (1.36 GB) — a post-paper stress model.
+
+    24 encoder layers of 12.6M params each plus a 31M-parameter
+    (row-sparse) embedding; far more communication per compute second
+    than the paper's Transformer, which makes it a good stress test for
+    the scheduler at scale.
+    """
+    entries: List[Tuple] = [
+        ("embedding", 31_254_528, 0.2, False),  # 30522x1024 + positions
+    ]
+    for index in range(1, 25):
+        # Attention (4x1024^2) + FFN (2x1024x4096) + norms/biases.
+        entries.append((f"encoder{index}", 12_596_224, 1.0))
+    entries.append(("pooler", 1_049_600, 0.05))
+    # ~30 sequences/s on one V100 at batch 8 -> 267 ms/iteration.
+    return build_model(
+        "bert-large",
+        entries,
+        fp_total=0.089,
+        bp_total=0.178,
+        batch_size=8,
+        sample_unit="sequences",
+    )
+
+
+def gpt2() -> ModelSpec:
+    """GPT-2 (117M params, 468 MB): decoder-only stack with a large
+    tied embedding (38.6M params) at the input."""
+    entries: List[Tuple] = [
+        ("embedding", 39_383_808, 0.2, False),  # 50257x768 + positions
+    ]
+    for index in range(1, 13):
+        entries.append((f"block{index}", 7_087_872, 1.0))
+    # ~14k tokens/s on one V100 at batch 4x512 tokens.
+    return build_model(
+        "gpt2",
+        entries,
+        fp_total=0.048,
+        bp_total=0.096,
+        batch_size=2048,
+        sample_unit="tokens",
+    )
+
+
+#: Registry used by experiments and the CLI-style runners.
+MODEL_BUILDERS: Dict[str, Callable[[], ModelSpec]] = {
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "resnet50": resnet50,
+    "alexnet": alexnet,
+    "transformer": transformer,
+    "bert-large": bert_large,
+    "gpt2": gpt2,
+}
+
+
+def get_model(name: str) -> ModelSpec:
+    """Build a zoo model by name; raises ``ConfigError`` if unknown."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_BUILDERS))
+        raise ConfigError(f"unknown model {name!r}; known models: {known}") from None
+    return builder()

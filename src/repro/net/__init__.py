@@ -1,0 +1,28 @@
+"""Simulated network substrate: messages, transports, FIFO links, fabric.
+
+The network model deliberately keeps the property the paper builds on:
+links are strict FIFO queues with a fixed per-message overhead, so any
+reordering must happen *above* the network, in the scheduler.
+"""
+
+from repro.net.fabric import Fabric
+from repro.net.link import Link
+from repro.net.message import Message
+from repro.net.nic import DuplexNIC
+from repro.net.transport import (
+    LocalTransport,
+    RDMATransport,
+    TCPTransport,
+    Transport,
+)
+
+__all__ = [
+    "Fabric",
+    "Link",
+    "Message",
+    "DuplexNIC",
+    "Transport",
+    "TCPTransport",
+    "RDMATransport",
+    "LocalTransport",
+]

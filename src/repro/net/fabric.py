@@ -1,0 +1,140 @@
+"""The cluster fabric: named nodes, duplex NICs, two-hop transfers.
+
+A transfer from A to B is store-and-forward through two FIFO queues —
+A's uplink and B's downlink.  Contention therefore appears exactly where
+it does on a real PS deployment: a server's downlink is shared by every
+worker pushing to it, and a worker's downlink is shared by every server
+it pulls from.  Local (same-node) transfers route through a loopback
+link with the local transport model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim import Environment, Event, Trace
+from repro.net.link import Link
+from repro.net.message import Message
+from repro.net.nic import DuplexNIC
+from repro.net.transport import LocalTransport, Transport
+from repro.units import GB
+
+__all__ = ["Fabric", "TransferHandle"]
+
+
+@dataclass(frozen=True)
+class TransferHandle:
+    """The two milestones of a transfer.
+
+    ``sent`` fires when the message's last byte leaves the *sender's*
+    link — the sending buffer is free again (what sender credits track);
+    ``delivered`` fires when it reaches the destination.
+    """
+
+    sent: Event
+    delivered: Event
+
+#: Default aggregate intra-node bandwidth (PCIe-class, no NVLink,
+#: matching the paper's testbed machines).
+DEFAULT_LOCAL_BANDWIDTH = 10 * GB
+
+
+class Fabric:
+    """A set of nodes joined by a non-blocking switch.
+
+    The switch itself is never the bottleneck (as on the paper's
+    100 Gbps testbed); only NIC up/down links queue.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: Iterable[str],
+        bandwidth: float,
+        transport: Transport,
+        trace: Optional[Trace] = None,
+        local_bandwidth: float = DEFAULT_LOCAL_BANDWIDTH,
+        local_transport: Optional[Transport] = None,
+        hop_latency: float = 10e-6,
+    ) -> None:
+        self.env = env
+        self.transport = transport
+        #: Switch + propagation latency added at the cut-through hop.
+        self.hop_latency = hop_latency
+        self.trace = trace
+        self.nics: Dict[str, DuplexNIC] = {}
+        self._loopbacks: Dict[str, Link] = {}
+        self._local_transport = local_transport or LocalTransport()
+        self._local_bandwidth = local_bandwidth
+        for node in nodes:
+            self.add_node(node, bandwidth)
+
+    @property
+    def nodes(self) -> List[str]:
+        """All node names, in insertion order."""
+        return list(self.nics)
+
+    def add_node(self, node: str, bandwidth: float) -> DuplexNIC:
+        """Attach a node with its own NIC; returns the NIC."""
+        if node in self.nics:
+            raise ValueError(f"node {node!r} already exists")
+        nic = DuplexNIC(self.env, node, bandwidth, self.transport, self.trace)
+        self.nics[node] = nic
+        self._loopbacks[node] = Link(
+            self.env,
+            f"{node}.loop",
+            self._local_bandwidth,
+            self._local_transport,
+            self.trace,
+        )
+        return nic
+
+    def nic(self, node: str) -> DuplexNIC:
+        """The NIC of ``node``; raises ``KeyError`` for unknown nodes."""
+        return self.nics[node]
+
+    def transfer(self, message: Message) -> TransferHandle:
+        """Move ``message`` from its src to its dst.
+
+        Remote transfers take two FIFO hops (src uplink, then dst
+        downlink, entered in uplink-completion order); local transfers
+        take one loopback hop.  The returned handle exposes both the
+        sender-side completion and the delivery.
+        """
+        if message.src not in self.nics:
+            raise KeyError(f"unknown source node {message.src!r}")
+        if message.dst not in self.nics:
+            raise KeyError(f"unknown destination node {message.dst!r}")
+
+        delivered = self.env.event()
+        if message.src == message.dst:
+            hop = self._loopbacks[message.src].transmit(message)
+            hop.callbacks.append(lambda _evt: delivered.succeed(message))
+            return TransferHandle(sent=hop, delivered=delivered)
+
+        uplink = self.nics[message.src].uplink
+        downlink = self.nics[message.dst].downlink
+
+        def _after_uplink(_evt: Event) -> None:
+            # The switch cuts the message through: bytes streamed into
+            # the destination while the uplink serialised them, so an
+            # idle downlink delivers just one hop latency later.
+            hop2 = downlink.transmit_cut_through(
+                message, available_at=self.env.now + self.hop_latency
+            )
+            hop2.callbacks.append(lambda _e: delivered.succeed(message))
+
+        sent = uplink.transmit(message)
+        sent.callbacks.append(_after_uplink)
+        return TransferHandle(sent=sent, delivered=delivered)
+
+    def reset_counters(self) -> None:
+        """Zero all NIC and loopback counters (e.g. after warm-up)."""
+        for nic in self.nics.values():
+            nic.reset_counters()
+        for loop in self._loopbacks.values():
+            loop.reset_counters()
+
+    def __repr__(self) -> str:
+        return f"<Fabric nodes={len(self.nics)} transport={self.transport.name}>"

@@ -1,0 +1,120 @@
+"""A unidirectional FIFO link.
+
+The link is the FIFO queue the whole paper is about: once a message is
+handed to it, the message serialises at line rate behind everything
+already queued, and *nothing can jump ahead* — priority has to be
+enforced above the link, by the scheduler, before enqueueing.
+
+Implementation note: because service is strict FIFO at a fixed rate, a
+link does not need a simulated server process; it keeps a ``busy_until``
+horizon and returns a timeout event for each message's completion.  This
+keeps the event count at one per message, which matters for the large
+figure-10/11/12 sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim import Environment, Event, Trace
+from repro.net.message import Message
+from repro.net.transport import Transport
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One direction of a NIC: FIFO service at ``bandwidth`` bytes/s."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        bandwidth: float,
+        transport: Transport,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth!r}")
+        self.env = env
+        self.name = name
+        self.bandwidth = bandwidth
+        self.transport = transport
+        self.trace = trace
+        self._busy_until = env.now
+        #: Totals for utilisation accounting.
+        self.bytes_sent = 0.0
+        self.messages_sent = 0
+        self.busy_time = 0.0
+
+    @property
+    def busy_until(self) -> float:
+        """Earliest time a newly enqueued message could start serialising."""
+        return self._busy_until
+
+    @property
+    def queue_delay(self) -> float:
+        """Seconds a message enqueued *now* would wait before starting."""
+        return max(0.0, self._busy_until - self.env.now)
+
+    def transmit(self, message: Message) -> Event:
+        """Enqueue ``message``; the returned event fires when its last
+        byte has left this link."""
+        message.enqueued_at = self.env.now
+        start = max(self.env.now, self._busy_until)
+        service = self.transport.wire_time(message.size, self.bandwidth)
+        end = start + service
+        self._busy_until = end
+        self.bytes_sent += message.size
+        self.messages_sent += 1
+        self.busy_time += service
+        if self.trace is not None:
+            self.trace.span(
+                "link",
+                self.name,
+                start,
+                end,
+                message=message.uid,
+                size=message.size,
+                kind=message.kind,
+            )
+        return self.env.timeout(end - self.env.now, value=message)
+
+    def transmit_cut_through(self, message: Message, available_at: float) -> Event:
+        """Enqueue a message whose bytes *streamed in* while an upstream
+        link serialised them (virtual cut-through).
+
+        ``available_at`` is when the last byte arrived from upstream.
+        If this link is idle it finishes almost immediately after that
+        (it was receiving and forwarding concurrently); if it is
+        backlogged, the message still occupies a full service slot:
+        ``end = max(available_at, busy_until + service)``.
+        """
+        message.enqueued_at = self.env.now
+        service = self.transport.wire_time(message.size, self.bandwidth)
+        end = max(available_at, self._busy_until + service)
+        start = end - service
+        self._busy_until = end
+        self.bytes_sent += message.size
+        self.messages_sent += 1
+        self.busy_time += service
+        if self.trace is not None:
+            self.trace.span(
+                "link",
+                self.name,
+                start,
+                end,
+                message=message.uid,
+                size=message.size,
+                kind=message.kind,
+            )
+        return self.env.timeout(max(0.0, end - self.env.now), value=message)
+
+    def reset_counters(self) -> None:
+        """Zero the byte/message/busy counters (e.g. after warm-up)."""
+        self.bytes_sent = 0.0
+        self.messages_sent = 0
+        self.busy_time = 0.0
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} {self.bandwidth:.3g}B/s {self.transport.name}>"

@@ -1,0 +1,41 @@
+"""Network message descriptor.
+
+A :class:`Message` is what the communication backends hand to links: a
+size, endpoints, and an opaque payload (usually a SubCommTask).  Links
+and transports never inspect the payload — the network stack below the
+scheduler is priority-oblivious, exactly as in the paper (§2.2: "the
+underlying communication stack ... is inherently based on FIFO queues").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Message"]
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One unit of data handed to the network for transmission."""
+
+    src: str
+    dst: str
+    size: float
+    payload: Any = None
+    kind: str = "data"
+    uid: int = field(default_factory=lambda: next(_message_ids))
+    enqueued_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"message size must be >= 0, got {self.size!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Message #{self.uid} {self.kind} {self.src}->{self.dst} "
+            f"{self.size:.0f}B>"
+        )

@@ -1,0 +1,76 @@
+"""Transport models: TCP vs RDMA.
+
+The paper's only transport-level distinction that matters to scheduling
+is the *per-message overhead* θ — "there is certain overhead for sending
+a tensor regardless of the size of the tensor" (§2.3), measured at about
+300 µs on their testbed — and the fraction of line rate the stack can
+actually sustain.  RDMA has a leaner stack, hence lower θ and higher
+efficiency (§6.2: "the overhead due to small partition is lower with
+RDMA than with TCP").
+
+A :class:`Transport` turns (size, link bandwidth) into a wire time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import US
+
+__all__ = ["Transport", "TCPTransport", "RDMATransport", "LocalTransport"]
+
+
+@dataclass(frozen=True)
+class Transport:
+    """Cost model for moving one message over one link hop.
+
+    Attributes:
+        name: human-readable label ("tcp", "rdma", ...).
+        overhead: fixed per-message time per *hop* in seconds (the θ of
+            §4.1 is the end-to-end sum over hops).
+        efficiency: fraction of the physical line rate the stack
+            sustains (TCP pays CPU/serialisation costs RDMA does not).
+    """
+
+    name: str
+    overhead: float
+    efficiency: float
+
+    def __post_init__(self) -> None:
+        if self.overhead < 0:
+            raise ValueError(f"overhead must be >= 0, got {self.overhead!r}")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError(
+                f"efficiency must be in (0, 1], got {self.efficiency!r}"
+            )
+
+    def wire_time(self, size: float, bandwidth: float) -> float:
+        """Seconds to serialise ``size`` bytes over one hop.
+
+        ``bandwidth`` is the physical link speed in bytes/second.
+        """
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size!r}")
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth!r}")
+        return size / (bandwidth * self.efficiency) + self.overhead
+
+
+def TCPTransport(overhead: float = 150 * US, efficiency: float = 0.70) -> Transport:
+    """Kernel TCP stack.
+
+    The default per-hop overhead is half of the paper's ~300 µs
+    end-to-end figure because the PS path in this model is two hops
+    (sender uplink, receiver downlink).
+    """
+    return Transport("tcp", overhead, efficiency)
+
+
+def RDMATransport(overhead: float = 40 * US, efficiency: float = 0.95) -> Transport:
+    """Kernel-bypass RDMA: low per-message cost, near line rate."""
+    return Transport("rdma", overhead, efficiency)
+
+
+def LocalTransport(overhead: float = 5 * US, efficiency: float = 1.0) -> Transport:
+    """Intra-machine transfers (PCIe / shared memory)."""
+    return Transport("local", overhead, efficiency)

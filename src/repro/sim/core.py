@@ -1,0 +1,350 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based kernel in the style of SimPy.
+The pieces:
+
+* :class:`Environment` — owns the simulated clock and the event heap.
+* :class:`Event` — a one-shot occurrence with callbacks and a value.
+* :class:`Timeout` — an event that fires after a simulated delay.
+* :class:`Process` — wraps a generator that ``yield``\\ s events; the
+  process resumes when the yielded event fires.  A process is itself an
+  event that succeeds with the generator's return value.
+
+Determinism: events scheduled for the same simulated time fire in the
+order they were scheduled (FIFO tie-break via a monotonically increasing
+sequence number).  Given the same inputs, a simulation always produces
+the same trajectory — the test suite relies on this.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import Interrupt, SimulationError
+
+__all__ = ["Environment", "Event", "Timeout", "Process", "PENDING"]
+
+#: Sentinel for "this event has not been triggered yet".
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence on an :class:`Environment`'s timeline.
+
+    An event starts *pending*; it is *triggered* when given a value (or
+    an exception) and scheduled; it is *processed* once its callbacks
+    have run.  Callbacks receive the event itself.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        #: True if a failed event's exception was consumed by a process.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the heap."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A failed event re-raises ``exception`` inside every process
+        waiting on it.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Copy state from ``event`` and schedule.  Callback-compatible."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env._schedule(self)
+
+    def __repr__(self) -> str:
+        state = "pending"
+        if self.processed:
+            state = "processed"
+        elif self.triggered:
+            state = "triggered"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """Wraps a generator, resuming it each time a yielded event fires.
+
+    The process is itself an event: it succeeds with the generator's
+    return value, or fails with the exception that escaped it.
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick the process off via an already-succeeded initialisation
+        # event so the first resume happens inside env.run().
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env._schedule(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.errors.Interrupt` into the process.
+
+        The process stops waiting for its current target and instead
+        handles (or propagates) the interrupt at its ``yield``.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated; cannot interrupt")
+        if self._target is not None and self._target.callbacks is not None:
+            # Stop waiting for the old target; it must not resume us
+            # again after the interrupt is handled.
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, priority=_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's value."""
+        if self._value is not PENDING:
+            # Already terminated (e.g. an interrupt raced a target event
+            # that was popped from the heap in the same instant).
+            if not event._ok:
+                event.defused = True
+            return
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event.defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self)
+                break
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                err = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                self._ok = False
+                self._value = err
+                self.env._schedule(self)
+                break
+            if next_event.env is not self.env:
+                err = SimulationError("yielded an event from another environment")
+                self._ok = False
+                self._value = err
+                self.env._schedule(self)
+                break
+
+            if next_event.callbacks is not None:
+                # Not yet processed: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Already processed: feed its value straight back in.
+            event = next_event
+
+        self._target = None
+        self.env._active_process = None
+
+    def __repr__(self) -> str:
+        name = getattr(self._generator, "__name__", repr(self._generator))
+        return f"<Process {name} at {id(self):#x}>"
+
+
+#: Heap priority for interrupts — they pre-empt same-time normal events.
+_URGENT = 0
+_NORMAL = 1
+
+
+class Environment:
+    """The simulation environment: clock plus event heap.
+
+    Typical use::
+
+        env = Environment()
+
+        def hello(env):
+            yield env.timeout(3.0)
+            return env.now
+
+        proc = env.process(hello(env))
+        env.run()
+        assert proc.value == 3.0
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[tuple] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event that fires once every event in ``events`` has fired."""
+        from repro.sim.events import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        """Event that fires once any event in ``events`` has fired."""
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = _NORMAL) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no more events to step through")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            # Nobody consumed the failure: surface it to the caller.
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock passes ``until``.
+
+        When ``until`` is given the clock is advanced exactly to it,
+        even if no event fires at that instant.
+        """
+        if until is not None:
+            if until < self._now:
+                raise SimulationError(
+                    f"cannot run until {until!r}; clock already at {self._now!r}"
+                )
+            horizon = float(until)
+        else:
+            horizon = float("inf")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        if until is not None:
+            self._now = horizon
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._queue)}>"

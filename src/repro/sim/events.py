@@ -1,0 +1,67 @@
+"""Composite condition events: wait for *all* or *any* of a set of events.
+
+Both conditions succeed with a dict mapping each fired source event to
+its value, in firing order (dicts preserve insertion order).  If any
+source event fails, the condition fails with that exception.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+__all__ = ["Condition", "AllOf", "AnyOf"]
+
+
+class Condition(Event):
+    """Base for composite events over a list of source events."""
+
+    def __init__(self, env: Environment, events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events: List[Event] = list(events)
+        self._fired: Dict[Event, object] = {}
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("condition mixes environments")
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                # The condition already resolved; don't let a late
+                # failure crash the simulation unhandled.
+                event.defused = True
+            return
+        if not event._ok:
+            event.defused = True
+            self.fail(event._value)
+            return
+        self._fired[event] = event._value
+        if self._satisfied():
+            self.succeed(dict(self._fired))
+
+
+class AllOf(Condition):
+    """Succeeds once every source event has succeeded."""
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) == len(self._events)
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as the first source event succeeds."""
+
+    def _satisfied(self) -> bool:
+        return len(self._fired) >= 1

@@ -1,0 +1,21 @@
+"""Training-run assembly: cluster specs, jobs, metrics, runners."""
+
+from repro.training.cluster import BuiltCluster, ClusterSpec, SchedulerSpec
+from repro.training.job import TrainingJob
+from repro.training.metrics import TrainingResult
+from repro.training.runner import (
+    linear_scaling_speed,
+    resolve_model,
+    run_experiment,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "SchedulerSpec",
+    "BuiltCluster",
+    "TrainingJob",
+    "TrainingResult",
+    "run_experiment",
+    "linear_scaling_speed",
+    "resolve_model",
+]

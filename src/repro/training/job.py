@@ -1,0 +1,309 @@
+"""The training job: model × cluster × framework × scheduler → speed.
+
+:class:`TrainingJob` assembles one complete run.  Per worker it builds
+the Figure-1 op graph for every iteration — the forward chain, the
+backward chain, and the per-layer communication — and lets the chosen
+adapter (vanilla or ByteScheduler) supply the glue: FIFO comm ops and
+true barriers for the baseline; ready proxies, held/async comm ops,
+barrier crossing, and forward proxies for ByteScheduler.
+
+The job does *not* know how any of those differ — exactly the property
+the paper claims for its design ("the same piece of scheduling code
+would work across frameworks and communication methods", §3.1).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.frameworks import EngineOp, OpKind, make_engine
+from repro.models import ModelSpec
+from repro.sim import Environment, Trace
+from repro.comm.base import CommBackend
+from repro.core import (
+    ByteSchedulerCore,
+    CommTask,
+    PRIORITY_FIFO,
+    PRIORITY_LAYER,
+    ReadyCountdown,
+    make_adapter,
+)
+from repro.training.cluster import BuiltCluster, ClusterSpec, SchedulerSpec
+from repro.training.metrics import TrainingResult
+
+__all__ = ["TrainingJob"]
+
+
+class TrainingJob:
+    """One simulated distributed training run."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        cluster: ClusterSpec,
+        scheduler: SchedulerSpec,
+        enable_trace: bool = False,
+        env: Optional[Environment] = None,
+        shared_fabric=None,
+    ) -> None:
+        self.model = model
+        self.cluster = cluster
+        self.scheduler = scheduler
+        #: Jobs sharing an environment (and fabric) co-schedule on the
+        #: same simulated cluster — the §7 multi-tenant scenario.
+        self.env = env or Environment()
+        self.trace = Trace(self.env, enabled=enable_trace)
+        built = cluster.build(
+            self.env,
+            layer_bytes=model.layer_bytes(),
+            trace=self.trace if enable_trace else None,
+            default_sharding="chunk",
+            shared_fabric=shared_fabric,
+        )
+        self.backend: CommBackend = built.backend
+        self.fabric = built.fabric
+        self.workers: Tuple[str, ...] = built.workers
+        self.engines = {
+            worker: make_engine(cluster.framework, self.env, name=f"{cluster.framework}@{worker}")
+            for worker in self.workers
+        }
+        if enable_trace:
+            for engine in self.engines.values():
+                engine.record_ops = True
+        self.cores = self._make_cores()
+        self.adapters = {
+            worker: make_adapter(
+                scheduler.scheduled,
+                self.engines[worker],
+                self._core_for(worker),
+                worker=None if self.backend.is_collective else worker,
+            )
+            for worker in self.workers
+        }
+        self._markers: Dict[str, List[float]] = {worker: [] for worker in self.workers}
+        self._built_iterations = 0
+        self._jitter_rng = random.Random(cluster.seed)
+
+    # -- assembly ---------------------------------------------------------
+
+    def _make_cores(self) -> Dict[str, ByteSchedulerCore]:
+        """One Core per worker for PS; a single master Core for
+        all-reduce (§5)."""
+        spec = self.scheduler
+        mode = PRIORITY_LAYER if spec.scheduled else PRIORITY_FIFO
+
+        if spec.kind == "fusion":
+            from repro.errors import ConfigError as _ConfigError
+
+            if not self.backend.is_collective:
+                raise _ConfigError("tensor fusion requires the all-reduce arch")
+            from repro.core.fusion import FusionCore
+
+            master = FusionCore(
+                self.env,
+                self.backend,
+                fusion_bytes=spec.fusion_bytes,
+                cycle_time=spec.cycle_time,
+            )
+            return {worker: master for worker in self.workers}
+
+        def build(name: str) -> ByteSchedulerCore:
+            return ByteSchedulerCore(
+                self.env,
+                self.backend,
+                partition_bytes=spec.resolved_partition(
+                    self.cluster.arch,
+                    largest_tensor_bytes=self.model.largest_tensor_bytes,
+                    servers=self.cluster.servers,
+                ),
+                credit_bytes=spec.resolved_credit(),
+                priority_mode=mode,
+                notify_delay=spec.notify_delay,
+                name=name,
+                partition_overrides=dict(spec.partition_overrides or ()),
+            )
+
+        if self.backend.is_collective:
+            master = build("master")
+            return {worker: master for worker in self.workers}
+        return {worker: build(f"core@{worker}") for worker in self.workers}
+
+    def _core_for(self, worker: str) -> ByteSchedulerCore:
+        return self.cores[worker]
+
+    @property
+    def master_core(self) -> ByteSchedulerCore:
+        """The core that auto-tuning drives (worker 0's, per §5)."""
+        return self.cores[self.workers[0]]
+
+    @property
+    def samples_per_iteration(self) -> float:
+        """Global batch: per-GPU batch × all GPUs."""
+        return float(self.model.batch_size * self.cluster.num_gpus)
+
+    # -- program construction ----------------------------------------------
+
+    def _jittered(self, duration: float) -> float:
+        """Per-op compute duration with optional straggler jitter."""
+        sigma = self.cluster.compute_jitter
+        if sigma <= 0:
+            return duration
+        return duration * max(0.05, self._jitter_rng.gauss(1.0, sigma))
+
+    def _build_iteration(self, iteration: int) -> None:
+        model = self.model
+        num_layers = model.num_layers
+
+        # Communication tasks: one per layer — shared across workers for
+        # collectives, per worker for PS.
+        tasks: Dict[Tuple[int, Optional[str]], CommTask] = {}
+        countdowns: Dict[Tuple[int, Optional[str]], ReadyCountdown] = {}
+        if self.backend.is_collective:
+            for layer in model.layers:
+                task = self.master_core.create_task(
+                    iteration, layer.index, layer.param_bytes
+                )
+                tasks[(layer.index, None)] = task
+                countdowns[(layer.index, None)] = ReadyCountdown(
+                    task, len(self.workers)
+                )
+        else:
+            for worker in self.workers:
+                for layer in model.layers:
+                    # The vanilla framework cannot slice row-sparse
+                    # tensors; ByteScheduler partitions everything.
+                    task = self._core_for(worker).create_task(
+                        iteration,
+                        layer.index,
+                        layer.param_bytes,
+                        worker=worker,
+                        splittable=layer.splittable or self.scheduler.scheduled,
+                    )
+                    tasks[(layer.index, worker)] = task
+                    countdowns[(layer.index, worker)] = ReadyCountdown(task, 1)
+
+        for worker in self.workers:
+            engine = self.engines[worker]
+            adapter = self.adapters[worker]
+            task_key = (lambda i: (i, None)) if self.backend.is_collective else (
+                lambda i, w=worker: (i, w)
+            )
+
+            # Forward chain (with per-layer gates from the previous
+            # iteration's communication).
+            fp_ops: List[EngineOp] = []
+            for layer in model.layers:
+                deps: List[EngineOp] = []
+                gate = adapter.forward_gate(iteration, layer.index)
+                if gate is not None:
+                    deps.append(gate)
+                if fp_ops:
+                    deps.append(fp_ops[-1])
+                fp_ops.append(
+                    engine.post(
+                        EngineOp(
+                            f"f{iteration}.{layer.index}@{worker}",
+                            OpKind.COMPUTE,
+                            deps=deps,
+                            duration=self._jittered(layer.fp_time),
+                        )
+                    )
+                )
+
+            # Backward chain, communication posted layer by layer as the
+            # gradients appear (output → input).
+            prev: EngineOp = fp_ops[-1]
+            first_bp: Optional[EngineOp] = None
+            for layer in reversed(model.layers):
+                bp = engine.post(
+                    EngineOp(
+                        f"b{iteration}.{layer.index}@{worker}",
+                        OpKind.COMPUTE,
+                        deps=[prev],
+                        duration=self._jittered(layer.bp_time),
+                    )
+                )
+                prev = bp
+                first_bp = bp
+                key = task_key(layer.index)
+                adapter.post_comm(
+                    iteration, layer.index, bp, tasks[key], countdowns[key]
+                )
+            adapter.finish_iteration(iteration)
+
+            # Iteration marker: completion of the last backward op.
+            first_bp.done.callbacks.append(
+                lambda _evt, w=worker: self._markers[w].append(self.env.now)
+            )
+
+    # -- execution ----------------------------------------------------------
+
+    def extend(self, iterations: int) -> None:
+        """Append ``iterations`` more training iterations to the program
+        (used by the online tuner to interleave training and tuning)."""
+        if iterations < 1:
+            raise ConfigError("iterations must be >= 1")
+        for _ in range(iterations):
+            self._build_iteration(self._built_iterations)
+            self._built_iterations += 1
+
+    def drain(self) -> None:
+        """Run the simulation until all built iterations complete."""
+        self.env.run()
+        for worker, times in self._markers.items():
+            if len(times) != self._built_iterations:
+                raise ConfigError(
+                    f"worker {worker} completed {len(times)}/"
+                    f"{self._built_iterations} iterations — the op graph "
+                    "deadlocked"
+                )
+
+    @property
+    def markers(self) -> Dict[str, List[float]]:
+        """Per-worker iteration completion times recorded so far."""
+        return self._markers
+
+    def segment_speed(self, start_iteration: int, end_iteration: int) -> float:
+        """Samples/second over iterations [start, end) — online-tuning's
+        profiling window (start must be >= 1 so a previous marker
+        exists)."""
+        if not 1 <= start_iteration < end_iteration <= self._built_iterations:
+            raise ConfigError(
+                f"invalid segment [{start_iteration}, {end_iteration})"
+            )
+        times = self._markers[self.workers[0]]
+        elapsed = times[end_iteration - 1] - times[start_iteration - 1]
+        return self.samples_per_iteration * (end_iteration - start_iteration) / elapsed
+
+    def reconfigure(self, partition_bytes=None, credit_bytes=None) -> None:
+        """Adjust the scheduler knobs on every Core (master broadcast,
+        §5); applies to tasks created from the next iteration on."""
+        seen = set()
+        for core in self.cores.values():
+            if id(core) in seen:
+                continue
+            seen.add(id(core))
+            core.reconfigure(partition_bytes=partition_bytes, credit_bytes=credit_bytes)
+
+    def run(self, measure: int = 10, warmup: int = 2) -> TrainingResult:
+        """Simulate ``warmup + measure`` iterations and report speed."""
+        if measure < 1:
+            raise ConfigError("measure must be >= 1")
+        if warmup < 1:
+            raise ConfigError(
+                "warmup must be >= 1 (iteration 0 has no communication "
+                "overlap and would bias the measurement)"
+            )
+        self.extend(warmup + measure)
+        self.drain()
+        return TrainingResult(
+            markers=dict(self._markers),
+            warmup=warmup,
+            measured=measure,
+            samples_per_iteration=self.samples_per_iteration,
+            sample_unit=self.model.sample_unit,
+            label=f"{self.model.name} {self.cluster.label} {self.scheduler.kind}",
+        )

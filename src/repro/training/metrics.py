@@ -1,0 +1,91 @@
+"""Training-speed measurement.
+
+The paper reports samples/second averaged over measured iterations after
+a warm-up (§6.1).  The simulation is deterministic, so a short window
+reaches steady state; the marker for "one iteration elapsed" is the
+completion of the first layer's backward op (the last compute op of an
+iteration), whose steady-state spacing equals the iteration period.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = ["TrainingResult"]
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one simulated training run."""
+
+    #: Per-worker completion times of each iteration's last backward op.
+    markers: Dict[str, List[float]]
+    warmup: int
+    measured: int
+    samples_per_iteration: float
+    sample_unit: str
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.measured < 1:
+            raise ConfigError("need at least one measured iteration")
+        for worker, times in self.markers.items():
+            expected = self.warmup + self.measured
+            if len(times) < expected:
+                raise ConfigError(
+                    f"worker {worker}: {len(times)} markers, expected {expected}"
+                )
+
+    def _reference_markers(self) -> List[float]:
+        """Markers of the first worker (workers are symmetric)."""
+        first = next(iter(self.markers))
+        return self.markers[first]
+
+    def iteration_times(self) -> List[float]:
+        """Per-iteration durations inside the measurement window."""
+        times = self._reference_markers()
+        start = max(self.warmup - 1, 0)
+        window = times[start : self.warmup + self.measured]
+        return [b - a for a, b in zip(window, window[1:])]
+
+    @property
+    def iteration_time(self) -> float:
+        """Mean measured iteration duration (seconds)."""
+        durations = self.iteration_times()
+        if not durations:
+            # Single measured iteration with no warm-up: fall back to
+            # the absolute completion time of iteration 0.
+            return self._reference_markers()[0]
+        return sum(durations) / len(durations)
+
+    @property
+    def speed(self) -> float:
+        """Training speed in samples (images/tokens) per second."""
+        return self.samples_per_iteration / self.iteration_time
+
+    @property
+    def iteration_time_stdev(self) -> float:
+        """Spread across measured iterations (0 for a single one)."""
+        durations = self.iteration_times()
+        if len(durations) < 2:
+            return 0.0
+        return statistics.stdev(durations)
+
+    def speedup_over(self, baseline: "TrainingResult") -> float:
+        """Fractional speedup vs ``baseline`` (0.25 means +25%)."""
+        return self.speed / baseline.speed - 1.0
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.label or 'run'}: {self.speed:,.0f} {self.sample_unit}/s "
+            f"({self.iteration_time * 1e3:.2f} ms/iter over "
+            f"{self.measured} iterations)"
+        )
+
+    def __repr__(self) -> str:
+        return f"<TrainingResult {self.summary()}>"

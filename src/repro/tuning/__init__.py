@@ -1,0 +1,31 @@
+"""Auto-tuning of partition and credit sizes (Bayesian Optimization)."""
+
+from repro.tuning.autotuner import AutoTuner, TuningResult, simulated_objective
+from repro.tuning.gp import GaussianProcess
+from repro.tuning.online import OnlineTuner, OnlineTuningResult
+from repro.tuning.searchers import (
+    BayesianOptimizer,
+    GridSearch,
+    RandomSearch,
+    Searcher,
+    SGDMomentumSearch,
+    make_searcher,
+)
+from repro.tuning.space import Point, SearchSpace
+
+__all__ = [
+    "SearchSpace",
+    "Point",
+    "GaussianProcess",
+    "Searcher",
+    "BayesianOptimizer",
+    "GridSearch",
+    "RandomSearch",
+    "SGDMomentumSearch",
+    "make_searcher",
+    "AutoTuner",
+    "OnlineTuner",
+    "OnlineTuningResult",
+    "TuningResult",
+    "simulated_objective",
+]

@@ -1,0 +1,110 @@
+"""Gaussian-process regression (RBF kernel), built on numpy.
+
+The surrogate model behind the Bayesian optimizer: "At each given
+(δ, c), the objective function value follows a distribution and we use
+Gaussian as it is widely accepted as a good surrogate model for BO"
+(§4.3).  Inputs are expected in the unit square; outputs are
+standardised internally so kernel hyper-parameters have a stable scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TuningError
+
+__all__ = ["GaussianProcess"]
+
+
+class GaussianProcess:
+    """GP regression with a squared-exponential kernel."""
+
+    def __init__(
+        self,
+        length_scale: float = 0.25,
+        signal_variance: float = 1.0,
+        noise_variance: float = 1e-4,
+    ) -> None:
+        if length_scale <= 0 or signal_variance <= 0 or noise_variance < 0:
+            raise TuningError("GP hyper-parameters must be positive")
+        self.length_scale = length_scale
+        self.signal_variance = signal_variance
+        self.noise_variance = noise_variance
+        self._x: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq_dists = (
+            np.sum(a**2, axis=1)[:, None]
+            + np.sum(b**2, axis=1)[None, :]
+            - 2.0 * a @ b.T
+        )
+        return self.signal_variance * np.exp(
+            -0.5 * np.maximum(sq_dists, 0.0) / self.length_scale**2
+        )
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Condition the GP on observations ``(x, y)``."""
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if x.ndim != 2:
+            raise TuningError(f"x must be 2-D, got shape {x.shape}")
+        if len(x) != len(y):
+            raise TuningError("x and y lengths differ")
+        if len(x) == 0:
+            raise TuningError("cannot fit a GP on zero observations")
+        self._y_mean = float(np.mean(y))
+        self._y_std = float(np.std(y)) or 1.0
+        normalized = (y - self._y_mean) / self._y_std
+        gram = self._kernel(x, x) + self.noise_variance * np.eye(len(x))
+        # A touch of jitter keeps the Cholesky stable for near-duplicate
+        # sample points (common late in a BO run).
+        jitter = 1e-10
+        while True:
+            try:
+                chol = np.linalg.cholesky(gram + jitter * np.eye(len(x)))
+                break
+            except np.linalg.LinAlgError:
+                jitter *= 10.0
+                if jitter > 1e-2:
+                    raise TuningError("GP covariance is irreparably singular")
+        self._x = x
+        self._chol = chol
+        self._alpha = np.linalg.solve(
+            chol.T, np.linalg.solve(chol, normalized)
+        )
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self._x is not None
+
+    def predict(self, x_star: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at ``x_star``."""
+        if not self.fitted:
+            raise TuningError("predict() before fit()")
+        x_star = np.asarray(x_star, dtype=float)
+        if x_star.ndim == 1:
+            x_star = x_star[None, :]
+        k_star = self._kernel(x_star, self._x)
+        mean = k_star @ self._alpha
+        v = np.linalg.solve(self._chol, k_star.T)
+        variance = np.maximum(
+            self.signal_variance - np.sum(v**2, axis=0), 1e-12
+        )
+        return (
+            mean * self._y_std + self._y_mean,
+            np.sqrt(variance) * self._y_std,
+        )
+
+    def confidence_interval(
+        self, x_star: np.ndarray, z: float = 1.96
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The 95% (by default) confidence band of §4.3 / Figure 9."""
+        mean, std = self.predict(x_star)
+        return mean - z * std, mean + z * std

@@ -1,0 +1,117 @@
+"""Online auto-tuning: re-tune knobs *while training runs* (§5, §7).
+
+The paper's deployment tunes at the start of training; §7 proposes
+"consistently searching for the best values using newly profiled
+results".  This module implements that loop on top of a live
+:class:`~repro.training.TrainingJob`:
+
+1. train a short *segment* of iterations under the current knobs;
+2. measure the segment's speed (the "newly profiled result");
+3. feed it to a searcher (BO by default) and apply its next suggestion
+   via ``Core.reconfigure`` — broadcast by the master, effective from
+   the next iteration's tensors;
+4. repeat, then finish training on the best knobs found.
+
+Deployment asymmetry (§5): all-reduce re-tunes live for free; PS
+partition changes need a checkpoint-restart, charged per change so the
+reported tuning overhead is honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import TuningError
+from repro.training.job import TrainingJob
+from repro.tuning.searchers import Searcher, make_searcher
+from repro.tuning.space import Point, SearchSpace
+
+__all__ = ["OnlineTuner", "OnlineTuningResult"]
+
+#: Checkpoint-restart cost for a PS partition change (§5 reports ~5-9 s;
+#: scaled to the short simulated runs this harness drives).
+DEFAULT_RESTART_PENALTY = 5.0
+
+
+@dataclass
+class OnlineTuningResult:
+    """Outcome of an online tuning run."""
+
+    best_point: Point
+    best_speed: float
+    final_speed: float
+    segments: List[Tuple[Point, float]] = field(default_factory=list)
+    restart_overhead: float = 0.0
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+
+class OnlineTuner:
+    """Interleaves training segments with knob search on one job."""
+
+    def __init__(
+        self,
+        job: TrainingJob,
+        space: Optional[SearchSpace] = None,
+        method: str = "bo",
+        seed: int = 0,
+        segment_iterations: int = 3,
+        restart_penalty: float = DEFAULT_RESTART_PENALTY,
+    ) -> None:
+        if segment_iterations < 1:
+            raise TuningError("segment_iterations must be >= 1")
+        if not job.scheduler.scheduled:
+            raise TuningError("online tuning needs a priority scheduler")
+        self.job = job
+        self.space = space or SearchSpace()
+        self.searcher: Searcher = make_searcher(method, self.space, seed=seed)
+        self.segment_iterations = segment_iterations
+        self.restart_penalty = restart_penalty
+        self._needs_restart = job.cluster.arch == "ps"
+
+    def run(self, segments: int = 8, final_iterations: int = 4) -> OnlineTuningResult:
+        """Tune over ``segments`` profiling windows, then finish on the
+        best knobs and report the final steady speed."""
+        if segments < 1:
+            raise TuningError("segments must be >= 1")
+        job = self.job
+        # Warm-up segment under the job's initial knobs.
+        job.extend(self.segment_iterations + 1)
+        job.drain()
+
+        restart_overhead = 0.0
+        last_partition: Optional[float] = None
+        for _ in range(segments):
+            partition, credit = self.space.clip(self.searcher.suggest())
+            if (
+                self._needs_restart
+                and last_partition is not None
+                and partition != last_partition
+            ):
+                restart_overhead += self.restart_penalty
+            last_partition = partition
+            job.reconfigure(partition_bytes=partition, credit_bytes=credit)
+            start = job._built_iterations
+            job.extend(self.segment_iterations)
+            job.drain()
+            speed = job.segment_speed(start, job._built_iterations)
+            self.searcher.observe((partition, credit), speed)
+
+        best_point, best_speed = self.searcher.best()
+        job.reconfigure(
+            partition_bytes=best_point[0], credit_bytes=best_point[1]
+        )
+        start = job._built_iterations
+        job.extend(final_iterations)
+        job.drain()
+        final_speed = job.segment_speed(start, job._built_iterations)
+        return OnlineTuningResult(
+            best_point=best_point,
+            best_speed=best_speed,
+            final_speed=final_speed,
+            segments=list(self.searcher.history),
+            restart_overhead=restart_overhead,
+        )

@@ -1,0 +1,93 @@
+"""The (partition size, credit size) search space (§4.3).
+
+Both knobs are positive byte counts spanning orders of magnitude, so
+the space works in log2 coordinates normalised to the unit square;
+searchers see ``[0,1]^2`` and the space converts to/from bytes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import TuningError
+from repro.units import KB, MB
+
+__all__ = ["SearchSpace", "Point"]
+
+#: A candidate configuration in byte units.
+Point = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Log-scaled box over (partition_bytes, credit_bytes)."""
+
+    partition_min: float = 256 * KB
+    partition_max: float = 128 * MB
+    credit_min: float = 256 * KB
+    credit_max: float = 512 * MB
+
+    def __post_init__(self) -> None:
+        if not 0 < self.partition_min < self.partition_max:
+            raise TuningError("invalid partition range")
+        if not 0 < self.credit_min < self.credit_max:
+            raise TuningError("invalid credit range")
+
+    # -- coordinate transforms ---------------------------------------------
+
+    def to_unit(self, point: Point) -> Tuple[float, float]:
+        """Bytes → [0,1]^2 (log scale)."""
+        partition, credit = point
+        return (
+            _to_unit(partition, self.partition_min, self.partition_max),
+            _to_unit(credit, self.credit_min, self.credit_max),
+        )
+
+    def from_unit(self, unit: Tuple[float, float]) -> Point:
+        """[0,1]^2 → bytes (log scale), clipped into the box."""
+        u_partition, u_credit = unit
+        return (
+            _from_unit(u_partition, self.partition_min, self.partition_max),
+            _from_unit(u_credit, self.credit_min, self.credit_max),
+        )
+
+    def clip(self, point: Point) -> Point:
+        """Clamp a byte-space point into the box."""
+        partition, credit = point
+        return (
+            min(max(partition, self.partition_min), self.partition_max),
+            min(max(credit, self.credit_min), self.credit_max),
+        )
+
+    # -- enumeration ---------------------------------------------------------
+
+    def grid(self, resolution: int = 8) -> List[Point]:
+        """A log-uniform ``resolution × resolution`` grid."""
+        if resolution < 2:
+            raise TuningError("grid resolution must be >= 2")
+        steps = [index / (resolution - 1) for index in range(resolution)]
+        return [self.from_unit((u, v)) for u in steps for v in steps]
+
+    def sample(self, rng: random.Random) -> Point:
+        """One log-uniform random point."""
+        return self.from_unit((rng.random(), rng.random()))
+
+    def __repr__(self) -> str:
+        return (
+            f"<SearchSpace partition [{self.partition_min / MB:.2f}, "
+            f"{self.partition_max / MB:.0f}] MB, credit "
+            f"[{self.credit_min / MB:.2f}, {self.credit_max / MB:.0f}] MB>"
+        )
+
+
+def _to_unit(value: float, low: float, high: float) -> float:
+    value = min(max(value, low), high)
+    return (math.log2(value) - math.log2(low)) / (math.log2(high) - math.log2(low))
+
+
+def _from_unit(unit: float, low: float, high: float) -> float:
+    unit = min(max(unit, 0.0), 1.0)
+    return 2 ** (math.log2(low) + unit * (math.log2(high) - math.log2(low)))

@@ -1,0 +1,31 @@
+"""Size and bandwidth units used throughout the library.
+
+Sizes are plain ``int``/``float`` byte counts; time is seconds.  These
+helpers exist so experiment code reads like the paper ("160 KB
+partitions", "a 100 Gbps network") instead of raw exponents.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KB", "MB", "GB", "gbps", "to_gbps", "US", "MS"]
+
+#: One kibibyte/mebibyte/gibibyte in bytes.
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: One microsecond/millisecond in seconds.
+US = 1e-6
+MS = 1e-3
+
+
+def gbps(value: float) -> float:
+    """Convert a link speed in gigabits/second to bytes/second."""
+    if value <= 0:
+        raise ValueError(f"bandwidth must be positive, got {value!r}")
+    return value * 1e9 / 8.0
+
+
+def to_gbps(bytes_per_second: float) -> float:
+    """Convert bytes/second back to gigabits/second."""
+    return bytes_per_second * 8.0 / 1e9

@@ -1,0 +1,70 @@
+"""Unit tests for the §4.1 delay-gap bounds."""
+
+import pytest
+
+from repro.analysis import (
+    allreduce_delay_bound,
+    best_partition_by_bound,
+    bound_curve,
+    ps_delay_bound,
+)
+from repro.errors import ConfigError
+from repro.models import vgg16
+from repro.units import MB
+
+
+def test_ps_bound_formula():
+    # One 10-byte layer, partition 4 -> floor(10/4)=2 partitions' overhead
+    # + one overhead + half a partition's wire time.
+    bound = ps_delay_bound([10.0], partition=4.0, overhead=0.1, bandwidth=2.0)
+    assert bound == pytest.approx(2 * 0.1 + 0.1 + 4.0 / 4.0)
+
+
+def test_allreduce_bound_formula():
+    bound = allreduce_delay_bound([10.0], partition=4.0, overhead=0.1, bandwidth=2.0)
+    assert bound == pytest.approx(2 * 0.1 + 4.0 / 2.0)
+
+
+def test_bound_shrinks_with_smaller_overhead():
+    sizes = vgg16().layer_bytes()
+    big = ps_delay_bound(sizes, 4 * MB, overhead=300e-6, bandwidth=4e9)
+    small = ps_delay_bound(sizes, 4 * MB, overhead=50e-6, bandwidth=4e9)
+    assert small < big
+
+
+def test_bound_curve_falls_then_rises():
+    """The §4.1 shape: decreasing (fewer partitions → less overhead)
+    then increasing (coarser preemption / later pulls)."""
+    model = vgg16()
+    partitions = [0.25 * MB, 1 * MB, 4 * MB, 16 * MB, 64 * MB, 256 * MB]
+    curve = bound_curve(model, partitions, overhead=300e-6, bandwidth=4e9)
+    minimum_at = curve.index(min(curve))
+    assert 0 < minimum_at < len(curve) - 1
+
+
+def test_best_partition_interior():
+    model = vgg16()
+    best = best_partition_by_bound(model, overhead=300e-6, bandwidth=4e9)
+    assert 0.25 * MB < best < model.largest_tensor_bytes
+
+
+def test_best_partition_grows_with_overhead():
+    """More per-partition overhead pushes the sweet spot to larger δ —
+    the Table-1 PS-vs-NCCL trend."""
+    model = vgg16()
+    cheap = best_partition_by_bound(model, overhead=80e-6, bandwidth=4e9)
+    costly = best_partition_by_bound(
+        model, overhead=2e-3, bandwidth=10e9, arch="allreduce"
+    )
+    assert costly > cheap
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ps_delay_bound([10.0], partition=0.0, overhead=0.1, bandwidth=1.0)
+    with pytest.raises(ConfigError):
+        ps_delay_bound([10.0], partition=1.0, overhead=-0.1, bandwidth=1.0)
+    with pytest.raises(ConfigError):
+        allreduce_delay_bound([10.0], partition=1.0, overhead=0.1, bandwidth=0.0)
+    with pytest.raises(ConfigError):
+        bound_curve(vgg16(), [1 * MB], 1e-4, 1e9, arch="gossip")

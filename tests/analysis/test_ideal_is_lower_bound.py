@@ -1,0 +1,79 @@
+"""Property check: the Theorem-1 ideal is a true lower bound.
+
+For random models, every simulated schedule — FIFO, P3, ByteScheduler
+at any knob setting — must take at least as long per iteration as the
+fluid preemptive-priority optimum computed analytically.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ideal_iteration_time
+from repro.models import custom_model
+from repro.sim import Environment
+from repro.training import ClusterSpec, SchedulerSpec, run_experiment
+from repro.units import MB
+
+
+def build_cluster():
+    return ClusterSpec(
+        machines=2, gpus_per_machine=1, arch="allreduce", transport="rdma",
+        bandwidth_gbps=10,
+    )
+
+
+def fluid_rate(cluster, layer_bytes):
+    env = Environment()
+    backend = cluster.build(env, tuple(layer_bytes)).backend
+    ranks = backend.ring_size
+    factor = 2 * (ranks - 1) / ranks
+    return backend.bandwidth * backend.transport.efficiency / factor
+
+
+model_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=256 * 1024, max_value=16 * 1024 * 1024),  # bytes
+        st.floats(min_value=0.5e-3, max_value=8e-3),                    # fp time
+    ),
+    min_size=2,
+    max_size=6,
+)
+
+
+@given(layers=model_strategy, kind=st.sampled_from(["fifo", "bytescheduler", "p3"]))
+@settings(max_examples=20, deadline=None)
+def test_no_schedule_beats_the_fluid_ideal(layers, kind):
+    layer_bytes = [size for size, _fp in layers]
+    fp_times = [fp for _size, fp in layers]
+    bp_times = [2 * fp for _size, fp in layers]
+    model = custom_model(layer_bytes, fp_times, bp_times, batch_size=8)
+    cluster = build_cluster()
+
+    if kind == "bytescheduler":
+        spec = SchedulerSpec(kind=kind, partition_bytes=2 * MB, credit_bytes=8 * MB)
+    else:
+        spec = SchedulerSpec(kind=kind)
+    measured = run_experiment(model, cluster, spec, measure=4, warmup=1)
+
+    ideal = ideal_iteration_time(model, fluid_rate(cluster, layer_bytes))
+    # The simulator pays sync overheads the fluid model does not, so
+    # measured >= ideal (tiny tolerance for marker rounding).
+    assert measured.iteration_time >= ideal * (1 - 1e-6)
+
+
+def test_bytescheduler_approaches_ideal_with_good_knobs():
+    """With tuned knobs the gap to the ideal stays small (the §4.1
+    bound in action on a concrete comm-bound model)."""
+    model = custom_model(
+        [24 * MB, 48 * MB, 12 * MB],
+        [0.002, 0.002, 0.002],
+        [0.004, 0.004, 0.004],
+        batch_size=8,
+    )
+    cluster = build_cluster()
+    spec = SchedulerSpec(kind="bytescheduler", partition_bytes=12 * MB, credit_bytes=24 * MB)
+    measured = run_experiment(model, cluster, spec, measure=4)
+    ideal = ideal_iteration_time(model, fluid_rate(cluster, model.layer_bytes()))
+    assert measured.iteration_time <= ideal * 1.5
+    assert measured.iteration_time >= ideal

@@ -1,0 +1,89 @@
+"""Unit tests for the Theorem-1 fluid schedule and ideal iteration time."""
+
+import pytest
+
+from repro.analysis import fluid_priority_schedule, ideal_iteration_time
+from repro.errors import ConfigError
+from repro.models import custom_model, uniform_model, vgg16
+
+
+def test_fluid_single_flow():
+    done = fluid_priority_schedule([0.0], [100.0], rate=10.0, start=0.0)
+    assert done == [pytest.approx(10.0)]
+
+
+def test_fluid_priority_preempts_lower():
+    # Flow 1 (low priority) arrives first; flow 0 preempts at t=1.
+    done = fluid_priority_schedule(
+        ready_times=[1.0, 0.0], sizes=[10.0, 20.0], rate=10.0, start=0.0
+    )
+    # Flow 1 drains 10 bytes in [0,1]; flow 0 runs [1,2]; flow 1 resumes
+    # [2,3].
+    assert done[0] == pytest.approx(2.0)
+    assert done[1] == pytest.approx(3.0)
+
+
+def test_fluid_work_conservation():
+    done = fluid_priority_schedule(
+        ready_times=[0.0, 0.0, 0.0], sizes=[10.0, 20.0, 30.0], rate=10.0, start=0.0
+    )
+    assert max(done) == pytest.approx(6.0)  # 60 bytes at 10 B/s
+
+
+def test_fluid_idle_gap_respected():
+    done = fluid_priority_schedule(
+        ready_times=[0.0, 5.0], sizes=[10.0, 10.0], rate=10.0, start=0.0
+    )
+    assert done == [pytest.approx(1.0), pytest.approx(6.0)]
+
+
+def test_fluid_rejects_bad_rate():
+    with pytest.raises(ConfigError):
+        fluid_priority_schedule([0.0], [1.0], rate=0.0, start=0.0)
+
+
+def test_ideal_compute_bound_when_network_fast():
+    model = uniform_model(num_layers=4, layer_bytes=1000, fp_time=0.01, bp_time=0.02)
+    period = ideal_iteration_time(model, rate=1e12)
+    assert period == pytest.approx(model.compute_time, rel=1e-6)
+
+
+def test_ideal_comm_bound_when_network_slow():
+    model = uniform_model(num_layers=4, layer_bytes=10_000_000, fp_time=0.001, bp_time=0.002)
+    rate = 1e8  # total comm = 0.4s >> compute 0.012s
+    period = ideal_iteration_time(model, rate)
+    assert period == pytest.approx(model.total_bytes / rate, rel=0.05)
+
+
+def test_ideal_between_compute_and_serial():
+    """The optimum must beat 'compute then communicate' and can't beat
+    max(compute, comm)."""
+    model = custom_model(
+        [5_000_000, 2_000_000, 1_000_000],
+        [0.01, 0.01, 0.01],
+        [0.02, 0.02, 0.02],
+    )
+    rate = 4e8
+    period = ideal_iteration_time(model, rate)
+    comm = model.total_bytes / rate
+    assert period <= model.compute_time + comm + 1e-9
+    assert period >= max(model.compute_time, comm) - 1e-9
+
+
+def test_ideal_vgg16_reasonable():
+    model = vgg16()
+    rate = 4e9  # ~RDMA-PS goodput
+    period = ideal_iteration_time(model, rate)
+    assert model.compute_time <= period <= model.compute_time + model.total_bytes / rate
+
+
+def test_ideal_requires_iterations():
+    with pytest.raises(ConfigError):
+        ideal_iteration_time(vgg16(), rate=1e9, iterations=1)
+
+
+def test_ideal_monotone_in_rate():
+    model = vgg16()
+    slow = ideal_iteration_time(model, rate=1e9)
+    fast = ideal_iteration_time(model, rate=8e9)
+    assert fast <= slow

@@ -1,0 +1,89 @@
+"""Tests for the timeline analyzer."""
+
+import pytest
+
+from repro.analysis import analyze_worker, ascii_gantt, format_breakdown
+from repro.analysis.timeline import _covered, _intersect, _merge
+from repro.errors import ConfigError
+from repro.models import custom_model
+from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+from repro.units import MB
+
+
+def traced_job(kind="fifo", arch="ps"):
+    model = custom_model(
+        [4 * MB, 16 * MB, 2 * MB], [0.002] * 3, [0.004] * 3, batch_size=16
+    )
+    cluster = ClusterSpec(machines=2, gpus_per_machine=2, bandwidth_gbps=10, arch=arch)
+    if kind == "fifo":
+        spec = SchedulerSpec(kind="fifo")
+    else:
+        spec = SchedulerSpec(kind=kind, partition_bytes=1 * MB, credit_bytes=4 * MB)
+    job = TrainingJob(model, cluster, spec, enable_trace=True)
+    job.run(measure=4, warmup=1)
+    return job
+
+
+def test_merge_intervals():
+    assert _merge([(0, 1), (0.5, 2), (3, 4)]) == [(0, 2), (3, 4)]
+
+
+def test_covered_clips():
+    assert _covered([(0, 2), (3, 4)], 1, 3.5) == pytest.approx(1.5)
+
+
+def test_intersect():
+    assert _intersect([(0, 2)], [(1, 3)]) == [(1, 2)]
+    assert _intersect([(0, 1)], [(2, 3)]) == []
+
+
+def test_breakdown_accounts_for_full_iteration():
+    job = traced_job()
+    breakdowns = analyze_worker(job)
+    assert len(breakdowns) == 5
+    for item in breakdowns:
+        assert item.duration > 0
+        assert 0 <= item.compute_time <= item.duration + 1e-9
+        assert item.overlap <= item.comm_busy + 1e-9
+        assert item.stall == pytest.approx(item.duration - item.compute_time)
+        assert item.exposed_comm == pytest.approx(item.comm_busy - item.overlap)
+
+
+def test_scheduling_shrinks_stall():
+    """The whole point: ByteScheduler reduces the GPU stall."""
+    fifo = analyze_worker(traced_job("fifo"))[-1]
+    tuned = analyze_worker(traced_job("bytescheduler"))[-1]
+    assert tuned.stall < fifo.stall
+
+
+def test_allreduce_jobs_are_analyzable():
+    job = traced_job("fifo", arch="allreduce")
+    breakdowns = analyze_worker(job)
+    assert breakdowns[-1].comm_busy > 0
+
+
+def test_requires_trace():
+    model = custom_model([4 * MB], [0.002], [0.004], batch_size=16)
+    job = TrainingJob(
+        model,
+        ClusterSpec(machines=2, gpus_per_machine=1, bandwidth_gbps=10),
+        SchedulerSpec(kind="fifo"),
+    )
+    job.run(measure=2, warmup=1)
+    with pytest.raises(ConfigError):
+        analyze_worker(job)
+
+
+def test_format_and_gantt_render():
+    job = traced_job()
+    text = format_breakdown(analyze_worker(job))
+    assert "stall" in text
+    art = ascii_gantt(job)
+    assert "GPU" in art and "NET" in art
+    assert "#" in art and "=" in art
+
+
+def test_gantt_rejects_empty_window():
+    job = traced_job()
+    with pytest.raises(ConfigError):
+        ascii_gantt(job, start=1.0, end=1.0)

@@ -1,0 +1,82 @@
+"""Unit tests for tensor-to-server sharding strategies."""
+
+import pytest
+
+from repro.comm import ChunkRoundRobin, GreedyBalanced, LayerRoundRobin, make_sharding
+from repro.errors import ConfigError
+
+
+VGG_LIKE = [1_000, 2_000, 400_000, 10_000]  # one dominant tensor
+
+
+def test_layer_round_robin_maps_whole_layers():
+    strategy = LayerRoundRobin()
+    strategy.prepare(VGG_LIKE, num_servers=2)
+    assert strategy.server_for(0, 0) == 0
+    assert strategy.server_for(1, 5) == 1
+    assert strategy.server_for(2, 0) == strategy.server_for(2, 99) == 0
+    assert strategy.server_for(3, 0) == 1
+
+
+def test_layer_round_robin_is_imbalanced_for_skewed_models():
+    """The §6.2 observation: whole-tensor round robin leaves one server
+    holding the dominant tensor."""
+    strategy = LayerRoundRobin()
+    strategy.prepare(VGG_LIKE, num_servers=2)
+    loads = strategy.server_loads([1, 1, 1, 1])
+    assert max(loads) / min(loads) > 10
+
+
+def test_chunk_round_robin_balances_with_many_chunks():
+    strategy = ChunkRoundRobin()
+    strategy.prepare(VGG_LIKE, num_servers=2)
+    # Partition the dominant tensor into 100 chunks: near-even loads.
+    loads = strategy.server_loads([1, 1, 100, 4])
+    assert max(loads) / min(loads) < 1.2
+
+
+def test_chunk_round_robin_rotates_single_chunk_layers():
+    strategy = ChunkRoundRobin()
+    strategy.prepare([10, 10, 10, 10], num_servers=2)
+    servers = [strategy.server_for(layer, 0) for layer in range(4)]
+    assert servers == [0, 1, 0, 1]
+
+
+def test_greedy_balanced_beats_layer_round_robin():
+    greedy = GreedyBalanced()
+    greedy.prepare(VGG_LIKE, num_servers=2)
+    naive = LayerRoundRobin()
+    naive.prepare(VGG_LIKE, num_servers=2)
+    counts = [1, 1, 1, 1]
+    assert max(greedy.server_loads(counts)) <= max(naive.server_loads(counts))
+
+
+def test_greedy_assignment_is_stable_per_layer():
+    strategy = GreedyBalanced()
+    strategy.prepare(VGG_LIKE, num_servers=3)
+    for layer in range(4):
+        assert strategy.server_for(layer, 0) == strategy.server_for(layer, 7)
+
+
+def test_all_strategies_stay_in_range():
+    for name in ("layer", "chunk", "greedy"):
+        strategy = make_sharding(name)
+        strategy.prepare(VGG_LIKE, num_servers=3)
+        for layer in range(4):
+            for chunk in range(5):
+                assert 0 <= strategy.server_for(layer, chunk) < 3
+
+
+def test_use_before_prepare_raises():
+    with pytest.raises(ConfigError):
+        LayerRoundRobin().server_for(0, 0)
+
+
+def test_prepare_rejects_zero_servers():
+    with pytest.raises(ConfigError):
+        LayerRoundRobin().prepare(VGG_LIKE, num_servers=0)
+
+
+def test_make_sharding_unknown_name():
+    with pytest.raises(ConfigError):
+        make_sharding("hash")

@@ -1,0 +1,68 @@
+"""Tests for the baseline scheduler factory functions."""
+
+import math
+
+import pytest
+
+from repro.comm import RingAllReduceBackend
+from repro.core import (
+    DEFAULT_BASELINE_PARTITION,
+    P3_PARTITION,
+    PRIORITY_FIFO,
+    PRIORITY_LAYER,
+    bytescheduler,
+    fifo_scheduler,
+    p3_scheduler,
+)
+from repro.net import Transport
+from repro.sim import Environment
+from repro.units import KB, MB
+
+
+def backend(env):
+    return RingAllReduceBackend(
+        env, 2, 1, 1e9, Transport("t", 0.0, 1.0), base_sync=0.0, per_rank_sync=0.0
+    )
+
+
+def test_fifo_scheduler_configuration():
+    env = Environment()
+    core = fifo_scheduler(env, backend(env))
+    assert core.priority_mode == PRIORITY_FIFO
+    assert math.isinf(core.credit_capacity)
+    assert core.partition_bytes == DEFAULT_BASELINE_PARTITION
+
+
+def test_p3_scheduler_is_stop_and_wait():
+    env = Environment()
+    core = p3_scheduler(env, backend(env))
+    assert core.priority_mode == PRIORITY_LAYER
+    assert core.partition_bytes == P3_PARTITION == 160 * KB
+    assert core.credit_capacity == P3_PARTITION  # exactly one in flight
+
+
+def test_bytescheduler_factory_sets_knobs():
+    env = Environment()
+    core = bytescheduler(
+        env, backend(env), partition_bytes=2 * MB, credit_bytes=8 * MB,
+        notify_delay=1e-4,
+    )
+    assert core.priority_mode == PRIORITY_LAYER
+    assert core.partition_bytes == 2 * MB
+    assert core.credit_capacity == 8 * MB
+    assert core.notify_delay == 1e-4
+
+
+def test_factories_produce_working_schedulers():
+    env = Environment()
+    for factory in (
+        lambda: fifo_scheduler(env, backend(env)),
+        lambda: p3_scheduler(env, backend(env)),
+        lambda: bytescheduler(env, backend(env), 1 * MB, 4 * MB),
+    ):
+        core = factory()
+        task = core.create_task(0, 0, 3 * MB)
+        task.notify_ready()
+    env.run()
+    # All three completed their tensors.
+    assert env.now >= 0.0

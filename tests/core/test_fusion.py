@@ -1,0 +1,124 @@
+"""Tests for Horovod-style tensor fusion (FusionCore)."""
+
+import pytest
+
+from repro.comm import RingAllReduceBackend
+from repro.core import FusionCore
+from repro.errors import ConfigError, SchedulerError
+from repro.net import Transport
+from repro.sim import Environment
+from repro.training import ClusterSpec, SchedulerSpec, run_experiment
+from repro.models import custom_model, uniform_model
+from repro.units import MB
+
+
+def make_backend(env, machines=4, base_sync=0.002):
+    return RingAllReduceBackend(
+        env,
+        machines,
+        1,
+        bandwidth=1e9,
+        transport=Transport("t", 0.0, 1.0),
+        base_sync=base_sync,
+        per_rank_sync=0.0,
+    )
+
+
+def ready_task(core, iteration, layer, size):
+    task = core.create_task(iteration, layer, size)
+    task.notify_ready()
+    return task
+
+
+def test_fusion_batches_small_tensors_into_one_collective():
+    env = Environment()
+    backend = make_backend(env)
+    core = FusionCore(env, backend, fusion_bytes=10 * MB, cycle_time=0.001)
+    tasks = [ready_task(core, 0, layer, 1 * MB) for layer in range(5)]
+    env.run()
+    assert all(task.is_finished for task in tasks)
+    assert backend.collectives_run == 1  # 5 MB fused into one launch
+    assert core.fused_launches == 1
+    assert core.average_fusion == 5.0
+
+
+def test_fusion_splits_batches_at_buffer_size():
+    env = Environment()
+    backend = make_backend(env)
+    core = FusionCore(env, backend, fusion_bytes=4 * MB, cycle_time=0.001)
+    tasks = [ready_task(core, 0, layer, 3 * MB) for layer in range(3)]
+    env.run()
+    # 3 MB + 3 MB exceeds 4 MB: each goes alone (first always fits).
+    assert backend.collectives_run == 3
+    assert all(task.is_finished for task in tasks)
+
+
+def test_fusion_amortises_sync_cost():
+    """With sync-dominated collectives, fusion beats per-tensor FIFO."""
+    env_fused = Environment()
+    backend_fused = make_backend(env_fused, base_sync=0.005)
+    core = FusionCore(env_fused, backend_fused, fusion_bytes=64 * MB, cycle_time=0.001)
+    tasks = [ready_task(core, 0, layer, 1 * MB) for layer in range(10)]
+    env_fused.run()
+    fused_time = env_fused.now
+
+    env_plain = Environment()
+    backend_plain = make_backend(env_plain, base_sync=0.005)
+    from repro.core import ByteSchedulerCore, PRIORITY_FIFO
+
+    plain = ByteSchedulerCore(env_plain, backend_plain, priority_mode=PRIORITY_FIFO)
+    plain_tasks = [
+        plain.create_task(0, layer, 1 * MB) for layer in range(10)
+    ]
+    for task in plain_tasks:
+        task.notify_ready()
+    env_plain.run()
+    assert fused_time < env_plain.now  # one sync vs ten
+
+
+def test_fusion_requires_collective_backend():
+    from repro.net import Fabric
+    from repro.comm import PSBackend
+
+    env = Environment()
+    fabric = Fabric(env, ["w0", "s0"], 1e9, Transport("t", 0.0, 1.0))
+    ps = PSBackend(env, fabric, ("w0",), ("s0",), layer_bytes=(1,))
+    with pytest.raises(SchedulerError):
+        FusionCore(env, ps)
+
+
+def test_fusion_validation():
+    env = Environment()
+    backend = make_backend(env)
+    with pytest.raises(SchedulerError):
+        FusionCore(env, backend, fusion_bytes=0)
+    with pytest.raises(SchedulerError):
+        FusionCore(env, backend, cycle_time=0)
+
+
+def test_fusion_end_to_end_in_training_job():
+    model = uniform_model(num_layers=8, layer_bytes=1 * MB, fp_time=0.001, bp_time=0.002)
+    cluster = ClusterSpec(
+        machines=2, gpus_per_machine=2, arch="allreduce", bandwidth_gbps=10
+    )
+    result = run_experiment(model, cluster, SchedulerSpec(kind="fusion"), measure=3)
+    assert result.speed > 0
+
+
+def test_fusion_beats_plain_fifo_on_tiny_tensors():
+    """Many small tensors on a big ring: fusion amortises sync."""
+    model = uniform_model(num_layers=24, layer_bytes=512 * 1024, fp_time=0.0005, bp_time=0.001)
+    cluster = ClusterSpec(
+        machines=8, gpus_per_machine=8, arch="allreduce", transport="tcp",
+        bandwidth_gbps=100,
+    )
+    plain = run_experiment(model, cluster, SchedulerSpec(kind="fifo"), measure=3)
+    fused = run_experiment(model, cluster, SchedulerSpec(kind="fusion"), measure=3)
+    assert fused.speed > plain.speed
+
+
+def test_fusion_rejected_on_ps():
+    model = uniform_model()
+    cluster = ClusterSpec(machines=2, arch="ps")
+    with pytest.raises(ConfigError):
+        run_experiment(model, cluster, SchedulerSpec(kind="fusion"), measure=2)

@@ -1,0 +1,283 @@
+"""Unit tests for Algorithm 1 (priority queue + credit-based preemption)."""
+
+import math
+
+import pytest
+
+from repro.comm.base import ChunkHandle, CommBackend
+from repro.core import ByteSchedulerCore, PRIORITY_FIFO
+from repro.errors import SchedulerError
+from repro.sim import Environment
+
+
+class ManualBackend(CommBackend):
+    """Records chunk starts; completes them only when the test says so."""
+
+    is_collective = True
+
+    def __init__(self, env):
+        self.env = env
+        self.started = []  # (time, chunk, event)
+
+    @property
+    def workers(self):
+        return ("m0",)
+
+    def start_chunk(self, chunk):
+        event = self.env.event()
+        self.started.append((self.env.now, chunk, event))
+        return ChunkHandle(sent=event, done=event)
+
+    def complete(self, index=0):
+        """Deliver the index-th oldest still-pending chunk."""
+        pending = [entry for entry in self.started if not entry[2].triggered]
+        _time, chunk, event = pending[index]
+        event.succeed(chunk)
+
+    def start_order(self):
+        return [(chunk.layer, chunk.chunk_index) for _t, chunk, _e in self.started]
+
+
+class TimedBackend(CommBackend):
+    """Chunks complete after a fixed service time, FIFO-free (parallel)."""
+
+    is_collective = True
+
+    def __init__(self, env, service=1.0):
+        self.env = env
+        self.service = service
+        self.started = []
+
+    @property
+    def workers(self):
+        return ("m0",)
+
+    def start_chunk(self, chunk):
+        self.started.append((self.env.now, chunk))
+        completion = self.env.timeout(self.service, value=chunk)
+        return ChunkHandle(sent=completion, done=completion)
+
+
+def make_core(env, backend=None, **kwargs):
+    backend = backend or ManualBackend(env)
+    return ByteSchedulerCore(env, backend, **kwargs), backend
+
+
+def test_layer_priority_orders_starts():
+    env = Environment()
+    core, backend = make_core(env, credit_bytes=100.0)
+    low = core.create_task(0, 5, 100.0)   # low priority (big layer index)
+    high = core.create_task(0, 1, 100.0)  # high priority
+    low.notify_ready()
+    high.notify_ready()
+    env.run()
+    # Credit admits one at a time; the high-priority task must go first.
+    assert backend.start_order() == [(1, 0)]
+    backend.complete()
+    env.run()
+    assert backend.start_order() == [(1, 0), (5, 0)]
+
+
+def test_fifo_mode_uses_readiness_order():
+    env = Environment()
+    core, backend = make_core(env, priority_mode=PRIORITY_FIFO, credit_bytes=100.0)
+    # Enqueued in layer order 0..2 (as a prebuilt graph would), but made
+    # ready in backward order 2..0 — FIFO must follow readiness.
+    tasks = [core.create_task(0, layer, 100.0) for layer in range(3)]
+    for task in reversed(tasks):
+        task.notify_ready()
+    env.run()
+    assert backend.start_order() == [(2, 0)]
+    backend.complete()
+    env.run()
+    backend.complete()
+    env.run()
+    assert backend.start_order() == [(2, 0), (1, 0), (0, 0)]
+
+
+def test_credit_limits_inflight_bytes():
+    env = Environment()
+    core, backend = make_core(env, partition_bytes=100.0, credit_bytes=250.0)
+    task = core.create_task(0, 0, 1000.0)  # 10 chunks of 100B
+    task.notify_ready()
+    env.run()
+    assert len(backend.started) == 2  # 250 credit admits two 100B chunks
+    assert core.credit == pytest.approx(50.0)
+    backend.complete()
+    env.run()
+    assert len(backend.started) == 3
+
+
+def test_credit_returns_enable_progress_to_completion():
+    env = Environment()
+    backend = TimedBackend(Environment(), 1.0)
+    env = backend.env = Environment()
+    core = ByteSchedulerCore(
+        env, backend, partition_bytes=100.0, credit_bytes=100.0
+    )
+    task = core.create_task(0, 0, 500.0)
+    task.notify_ready()
+    env.run()
+    assert task.is_finished
+    # Stop-and-wait: starts at t=0,1,2,3,4.
+    starts = [t for t, _c in backend.started]
+    assert starts == pytest.approx([0.0, 1.0, 2.0, 3.0, 4.0])
+
+
+def test_head_of_line_blocking_preserves_priority():
+    """A big high-priority chunk at the head must NOT be bypassed by a
+    smaller low-priority chunk that would fit the remaining credit."""
+    env = Environment()
+    core, backend = make_core(env, credit_bytes=150.0)
+    filler = core.create_task(0, 2, 100.0)
+    filler.notify_ready()
+    env.run()  # 100B in flight, 50 credit left
+    big_high = core.create_task(0, 0, 120.0)
+    small_low = core.create_task(0, 9, 40.0)
+    big_high.notify_ready()
+    small_low.notify_ready()
+    env.run()
+    assert backend.start_order() == [(2, 0)]  # nothing else started
+    backend.complete()
+    env.run()
+    # Credit 150 again: the 120B high-priority head starts, leaving 30 —
+    # still not enough for the 40B low-priority chunk (blocked again).
+    assert backend.start_order() == [(2, 0), (0, 0)]
+    backend.complete()
+    env.run()
+    assert backend.start_order() == [(2, 0), (0, 0), (9, 0)]
+
+
+def test_oversized_subtask_escapes_when_idle():
+    env = Environment()
+    core, backend = make_core(env, credit_bytes=50.0)
+    task = core.create_task(0, 0, 200.0)  # bigger than total credit
+    task.notify_ready()
+    env.run()
+    assert len(backend.started) == 1  # escape clause: started while idle
+    backend.complete()
+    env.run()
+    assert task.is_finished
+    assert core.credit == pytest.approx(50.0)  # uncharged, unreturned
+
+
+def test_preemption_at_partition_granularity():
+    """While a low-priority tensor's chunks stream, a high-priority
+    arrival jumps ahead of the *remaining* chunks (the Figure 2 win)."""
+    env = Environment()
+    core, backend = make_core(env, partition_bytes=100.0, credit_bytes=100.0)
+    low = core.create_task(0, 7, 400.0)  # 4 chunks
+    low.notify_ready()
+    env.run()
+    backend.complete()  # chunk (7,0) done -> (7,1) starts
+    env.run()
+    high = core.create_task(0, 1, 200.0)  # 2 chunks arrive mid-stream
+    high.notify_ready()
+    env.run()
+    backend.complete()  # (7,1) done -> high jumps queue
+    env.run()
+    backend.complete()
+    env.run()
+    backend.complete()
+    env.run()
+    backend.complete()
+    env.run()
+    backend.complete()
+    env.run()
+    assert backend.start_order() == [
+        (7, 0), (7, 1), (1, 0), (1, 1), (7, 2), (7, 3),
+    ]
+    assert core.preemption_opportunities >= 1
+
+
+def test_notify_delay_defers_credit_return():
+    env = Environment()
+    backend = TimedBackend(Environment(), 1.0)
+    env = backend.env = Environment()
+    core = ByteSchedulerCore(
+        env,
+        backend,
+        partition_bytes=100.0,
+        credit_bytes=100.0,
+        notify_delay=0.5,
+    )
+    task = core.create_task(0, 0, 300.0)
+    task.notify_ready()
+    env.run()
+    starts = [t for t, _c in backend.started]
+    # Each cycle: 1.0s service + 0.5s notification before the next start.
+    assert starts == pytest.approx([0.0, 1.5, 3.0])
+
+
+def test_reconfigure_partition_applies_to_new_tasks():
+    env = Environment()
+    core, backend = make_core(env, partition_bytes=100.0)
+    first = core.create_task(0, 0, 400.0)
+    core.reconfigure(partition_bytes=200.0)
+    second = core.create_task(1, 0, 400.0)
+    assert len(first.subtasks) == 4
+    assert len(second.subtasks) == 2
+
+
+def test_reconfigure_credit_preserves_lent_amount():
+    env = Environment()
+    core, backend = make_core(env, partition_bytes=100.0, credit_bytes=100.0)
+    task = core.create_task(0, 0, 300.0)
+    task.notify_ready()
+    env.run()  # one chunk in flight, credit 0
+    core.reconfigure(credit_bytes=250.0)
+    env.run()
+    # New capacity 250 minus the 100 lent -> 150 available -> one more starts.
+    assert len(backend.started) == 2
+    assert core.credit == pytest.approx(50.0)
+
+
+def test_shutdown_stops_scheduling():
+    env = Environment()
+    core, backend = make_core(env, credit_bytes=100.0)
+    task = core.create_task(0, 0, 100.0)
+    core.shutdown()
+    with pytest.raises(SchedulerError):
+        core.create_task(0, 1, 100.0)
+    task.notify_ready()
+    env.run()
+    assert backend.started == []
+
+
+def test_invalid_configs_rejected():
+    env = Environment()
+    backend = ManualBackend(env)
+    with pytest.raises(SchedulerError):
+        ByteSchedulerCore(env, backend, priority_mode="weird")
+    with pytest.raises(SchedulerError):
+        ByteSchedulerCore(env, backend, credit_bytes=0.0)
+    with pytest.raises(SchedulerError):
+        ByteSchedulerCore(env, backend, partition_bytes=-1.0)
+    with pytest.raises(SchedulerError):
+        ByteSchedulerCore(env, backend, notify_delay=-0.1)
+
+
+def test_stats_counters():
+    env = Environment()
+    backend = TimedBackend(Environment(), 0.1)
+    env = backend.env = Environment()
+    core = ByteSchedulerCore(env, backend, partition_bytes=100.0)
+    task = core.create_task(0, 0, 500.0)
+    task.notify_ready()
+    env.run()
+    assert core.subtasks_started == 5
+    assert core.bytes_started == pytest.approx(500.0)
+    assert core.tasks_enqueued == 1
+    assert core.inflight == 0
+    assert core.queued == 0
+
+
+def test_enqueue_foreign_task_rejected():
+    env = Environment()
+    core_a, _ = make_core(env)
+    core_b, _ = make_core(env)
+    from repro.core import CommTask
+
+    task = CommTask(core_a, 0, 0, 100.0)
+    with pytest.raises(SchedulerError):
+        core_b.enqueue(task)

@@ -1,0 +1,190 @@
+"""Integration tests for the per-figure experiment harnesses.
+
+Each test runs a scaled-down version of the experiment and asserts the
+qualitative result the paper reports — who wins and in what direction —
+rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import (
+    PAPER_SETUPS,
+    ablations,
+    bounds_check,
+    extra,
+    figure2,
+    figure4,
+    figure9,
+    figure10_12,
+    figure14,
+    table1,
+    tuned_knobs,
+)
+from repro.units import MB
+
+
+def test_paper_setups_are_the_five_from_section_6():
+    assert len(PAPER_SETUPS) == 5
+    assert ("mxnet", "ps", "tcp") in PAPER_SETUPS
+    assert ("pytorch", "allreduce", "tcp") in PAPER_SETUPS
+
+
+def test_tuned_knobs_table_covers_benchmark_models():
+    for model in ("vgg16", "resnet50", "transformer"):
+        for arch in ("ps", "allreduce"):
+            partition, credit = tuned_knobs(model, arch, "rdma")
+            assert partition > 0 and credit >= partition
+
+
+def test_tuned_knobs_nccl_larger_than_ps():
+    """Table 1's headline structure."""
+    for model in ("vgg16", "resnet50", "transformer"):
+        ps_partition, _ = tuned_knobs(model, "ps", "rdma")
+        ar_partition, _ = tuned_knobs(model, "allreduce", "rdma")
+        assert ar_partition >= 4 * ps_partition
+
+
+def test_figure2_speedup_close_to_paper():
+    result = figure2.run(measure=4)
+    assert 0.30 <= result.speedup <= 0.60  # paper: 44.4%
+    assert "speed-up" in figure2.format_result(result)
+
+
+def test_figure4_partition_matters_more_at_high_bandwidth():
+    curves = figure4.run_partition_sweep(
+        machines=2, measure=2, sizes_kb=(100, 700), bandwidths=(1.0, 10.0)
+    )
+    gain_low = curves[1.0].y[-1] / curves[1.0].y[0] - 1.0
+    gain_high = curves[10.0].y[-1] / curves[10.0].y[0] - 1.0
+    assert gain_high > gain_low
+    assert gain_high > 0.05
+
+
+def test_figure4_small_credit_hurts():
+    curves = figure4.run_credit_sweep(
+        machines=2, measure=2, sizes_kb=(100, 700), bandwidths=(10.0,)
+    )
+    assert curves[10.0].y[0] < curves[10.0].y[-1]
+
+
+def test_figure9_trace_shape():
+    result = figure9.run(machines=2, samples=5, measure=2)
+    assert len(result.sample_credits) == 5
+    assert len(result.grid_credits) == len(result.posterior_mean)
+    assert all(
+        low <= high for low, high in zip(result.ci_low, result.ci_high)
+    )
+    assert result.best_credit > 0
+    assert "BO search" in figure9.format_result(result)
+
+
+def test_figure10_grid_bytescheduler_wins_everywhere():
+    grid = figure10_12.run_model(
+        "vgg16",
+        machines_list=(2,),
+        setups=[("mxnet", "ps", "rdma"), ("mxnet", "allreduce", "rdma")],
+        measure=2,
+        include_p3=False,
+    )
+    for subplot in grid.setups:
+        low, high = figure10_12.speedup_band(subplot)
+        assert low > -0.02  # never meaningfully slower
+        assert subplot.linear[0] > 0
+    text = figure10_12.format_model_grid(grid)
+    assert "bytescheduler" in text
+
+
+def test_figure10_ps_gains_exceed_allreduce_gains():
+    """§6.2: 'ByteScheduler has larger speedup in PS than all-reduce'."""
+    grid = figure10_12.run_model(
+        "vgg16",
+        machines_list=(4,),
+        setups=[("mxnet", "ps", "rdma"), ("mxnet", "allreduce", "rdma")],
+        measure=2,
+        include_p3=False,
+    )
+    ps_gain = figure10_12.speedup_band(grid.setups[0])[1]
+    ar_gain = figure10_12.speedup_band(grid.setups[1])[1]
+    assert ps_gain > ar_gain
+
+
+def test_p3_comparison_ordering():
+    """baseline < P3 < ByteScheduler on MXNet PS TCP (§6.2)."""
+    comparison = extra.run_p3_comparison(models=("vgg16",), machines=4, measure=2)
+    row = comparison.rows["vgg16"]
+    assert row["baseline"] < row["p3"] < row["bytescheduler"]
+    assert comparison.advantage("vgg16") > 0.1
+    assert "P3" in extra.format_p3(comparison)
+
+
+def test_extra_models_positive():
+    result = extra.run_extra_models(models=("alexnet",), machines=2, measure=2)
+    assert result.speedups["alexnet"] > 0.2
+    assert "AlexNet" in extra.format_extra_models(result)
+
+
+def test_bounds_check_holds():
+    check = bounds_check.run(machines=2, partitions_mb=(8, 32), measure=2)
+    assert all(check.within_bound())
+    assert check.ideal > 0
+    assert "bounds check" in bounds_check.format_result(check)
+
+
+def test_credit_ablation_orders_variants():
+    result = ablations.credit_ablation(machines=2, measure=2)
+    assert result.speeds["tuned credit"] >= result.speeds["stop-and-wait (credit=δ)"]
+    assert "stop-and-wait" in ablations.format_ablation(result)
+
+
+def test_partition_ablation_prefers_partitioning():
+    result = ablations.partition_ablation(machines=2, measure=2)
+    assert result.speeds["partitioned (tuned δ)"] > result.speeds["whole tensors"]
+
+
+def test_barrier_ablation_crossing_required():
+    """§3.4: without crossing, scheduling on a barrier engine is
+    largely ineffective."""
+    result = ablations.barrier_ablation(machines=2, measure=2)
+    crossed = result.speeds["scheduled, barrier crossed"]
+    kept = result.speeds["scheduled, barrier kept"]
+    base = result.speeds["baseline (FIFO + barrier)"]
+    assert crossed > kept
+    assert crossed > base
+
+
+def test_sharding_ablation_balanced_beats_naive():
+    result = ablations.sharding_ablation(machines=2, measure=2)
+    naive = result.speeds["whole-tensor round robin"]
+    chunked = result.speeds["chunk round robin"]
+    assert chunked > naive
+
+
+def test_figure14_bo_beats_random_on_average():
+    costs = figure14.run_combo(
+        "vgg16",
+        "ps",
+        machines=2,
+        seeds=(0, 1),
+        cap=25,
+        grid_resolution=4,
+        measure=2,
+        methods=("bo", "random"),
+    )
+    assert costs.mean_trials["bo"] <= costs.mean_trials["random"] + 5
+    assert costs.optimum_speed > 0
+
+
+def test_table1_runs_and_orders():
+    result = table1.run(
+        models=("vgg16",), archs=("ps", "allreduce"), machines=2, trials=6
+    )
+    assert result.partition_mb("allreduce", "vgg16") > result.partition_mb("ps", "vgg16")
+    assert "Table 1" in table1.format_result(result)
+
+
+def test_fusion_ablation_wins_on_small_tensors():
+    result = ablations.fusion_ablation(machines=8, measure=2)
+    assert (
+        result.speeds["horovod fusion (64 MB buffer)"]
+        > result.speeds["per-tensor FIFO (no fusion)"]
+    )

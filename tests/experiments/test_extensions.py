@@ -1,0 +1,54 @@
+"""Tests for the §7 extension experiments (scaled down)."""
+
+from repro.experiments import extensions
+
+
+def test_per_layer_partitions_runs_and_reports():
+    result = extensions.per_layer_partitions(machines=2, measure=2)
+    assert result.uniform_speed > 0
+    assert result.per_layer_speed > 0
+    assert len(result.policy) > 0
+    text = extensions.format_per_layer(result)
+    assert "per-layer" in text
+
+
+def test_online_tuning_recovers_from_bad_knobs():
+    result = extensions.online_tuning_trajectory(machines=2, segments=5)
+    assert result.final_speed > result.initial_speed
+    assert len(result.segments) == 5
+    assert "online re-tuning" in extensions.format_online(result)
+
+
+def test_online_tuning_ps_charges_restarts():
+    result = extensions.online_tuning_trajectory(
+        machines=2, arch="ps", segments=4
+    )
+    assert result.restart_overhead > 0
+
+
+def test_async_speedup_same_league_as_sync():
+    result = extensions.async_vs_sync(machines=2, measure=2)
+    assert result.sync_speedup > 0.2
+    assert result.async_speedup > 0.2
+    assert "async" in extensions.format_async(result)
+
+
+def test_coscheduling_shows_interference():
+    from repro.experiments import coscheduling
+
+    result = coscheduling.run(machines=2, measure=3)
+    worst = max(
+        result.slowdown(kind, model)
+        for kind in ("fifo", "bytescheduler")
+        for model in (result.model_a, result.model_b)
+    )
+    assert worst > 0.05
+    assert "co-scheduling" in coscheduling.format_result(result)
+
+
+def test_coscheduled_jobs_each_complete_all_iterations():
+    from repro.experiments import coscheduling
+
+    result = coscheduling.run(machines=2, measure=2)
+    for key, speed in result.colocated.items():
+        assert speed > 0, key

@@ -1,0 +1,29 @@
+"""Tests for the one-shot reproduction report."""
+
+import io
+
+from repro.experiments.report import SECTIONS, generate_report
+
+
+def test_sections_cover_every_artefact():
+    titles = " ".join(title for title, _runner in SECTIONS)
+    for token in (
+        "Figure 2", "Figure 4", "Figure 9", "10-12", "Figure 13",
+        "Figure 14", "Table 1", "P3", "bounds", "Ablations",
+        "extensions", "co-scheduling",
+    ):
+        assert token in titles, token
+
+
+def test_generate_report_filtered_section():
+    stream = io.StringIO()
+    text = generate_report(fast=True, stream=stream, sections=["Figure 2"])
+    assert "# ByteScheduler reproduction report" in text
+    assert "44.4%" in text
+    assert "Figure 14" not in text
+    assert "[report] Figure 2" in stream.getvalue()
+
+
+def test_generate_report_table1_section():
+    text = generate_report(fast=True, sections=["Table 1"])
+    assert "Table 1: best partition/credit sizes" in text

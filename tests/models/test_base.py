@@ -1,0 +1,82 @@
+"""Unit tests for Layer/ModelSpec validation and derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import Layer, ModelSpec, build_model, custom_model
+from repro.models.base import BYTES_PER_PARAM
+
+
+def test_layer_rejects_negative_index():
+    with pytest.raises(ConfigError):
+        Layer(-1, "bad", 10, 0.1, 0.1)
+
+
+def test_layer_rejects_negative_bytes():
+    with pytest.raises(ConfigError):
+        Layer(0, "bad", -1, 0.1, 0.1)
+
+
+def test_layer_rejects_negative_times():
+    with pytest.raises(ConfigError):
+        Layer(0, "bad", 1, -0.1, 0.1)
+    with pytest.raises(ConfigError):
+        Layer(0, "bad", 1, 0.1, -0.1)
+
+
+def test_model_requires_layers():
+    with pytest.raises(ConfigError):
+        ModelSpec("empty", (), 32)
+
+
+def test_model_rejects_noncontiguous_indices():
+    layers = (Layer(0, "a", 1, 0.1, 0.1), Layer(2, "c", 1, 0.1, 0.1))
+    with pytest.raises(ConfigError):
+        ModelSpec("gappy", layers, 32)
+
+
+def test_model_rejects_nonpositive_batch():
+    layers = (Layer(0, "a", 1, 0.1, 0.1),)
+    with pytest.raises(ConfigError):
+        ModelSpec("m", layers, 0)
+
+
+def test_totals():
+    model = custom_model([100, 200, 300], [0.1, 0.2, 0.3], [0.2, 0.4, 0.6])
+    assert model.total_bytes == 600
+    assert model.largest_tensor_bytes == 300
+    assert model.fp_total == pytest.approx(0.6)
+    assert model.bp_total == pytest.approx(1.2)
+    assert model.compute_time == pytest.approx(1.8)
+    assert model.num_layers == 3
+    assert model.layer_bytes() == (100, 200, 300)
+
+
+def test_build_model_normalizes_weights():
+    model = build_model(
+        "m",
+        [("a", 100, 1.0), ("b", 200, 3.0)],
+        fp_total=0.4,
+        bp_total=0.8,
+        batch_size=8,
+    )
+    assert model.layers[0].fp_time == pytest.approx(0.1)
+    assert model.layers[1].fp_time == pytest.approx(0.3)
+    assert model.layers[0].bp_time == pytest.approx(0.2)
+    assert model.layers[1].bp_time == pytest.approx(0.6)
+    assert model.layers[0].param_bytes == 100 * BYTES_PER_PARAM
+
+
+def test_build_model_requires_entries():
+    with pytest.raises(ConfigError):
+        build_model("m", [], 0.1, 0.1, 8)
+
+
+def test_build_model_requires_positive_weight_sum():
+    with pytest.raises(ConfigError):
+        build_model("m", [("a", 1, 0.0)], 0.1, 0.1, 8)
+
+
+def test_custom_model_requires_aligned_arrays():
+    with pytest.raises(ConfigError):
+        custom_model([1, 2], [0.1], [0.1, 0.2])

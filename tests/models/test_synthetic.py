@@ -1,0 +1,64 @@
+"""Tests for synthetic model generators, incl. property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.models import custom_model, figure2_model, random_model, uniform_model
+
+
+def test_uniform_model_shape():
+    model = uniform_model(num_layers=5, layer_bytes=1000, fp_time=0.01, bp_time=0.02)
+    assert model.num_layers == 5
+    assert model.total_bytes == 5000
+    assert model.fp_total == pytest.approx(0.05)
+    assert model.bp_total == pytest.approx(0.10)
+
+
+def test_random_model_reproducible():
+    a = random_model(10, seed=7)
+    b = random_model(10, seed=7)
+    assert a.layer_bytes() == b.layer_bytes()
+    assert [layer.fp_time for layer in a.layers] == [layer.fp_time for layer in b.layers]
+
+
+def test_random_model_different_seeds_differ():
+    assert random_model(10, seed=1).layer_bytes() != random_model(10, seed=2).layer_bytes()
+
+
+def test_random_model_rejects_zero_layers():
+    with pytest.raises(ConfigError):
+        random_model(0, seed=1)
+
+
+def test_figure2_model_is_three_layers():
+    model = figure2_model()
+    assert model.num_layers == 3
+    # Layer 1 carries the big blocking tensor.
+    assert model.layers[1].param_bytes == max(model.layer_bytes())
+
+
+@given(
+    num_layers=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_model_always_valid(num_layers, seed):
+    """Property: every generated model passes ModelSpec validation and
+    has sizes within the configured bounds."""
+    model = random_model(num_layers, seed=seed)
+    assert model.num_layers == num_layers
+    for layer in model.layers:
+        assert layer.param_bytes >= 0
+        assert layer.fp_time > 0
+        assert layer.bp_time > 0
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=30)
+)
+@settings(max_examples=40, deadline=None)
+def test_custom_model_total_is_sum(sizes):
+    model = custom_model(sizes, [0.001] * len(sizes), [0.002] * len(sizes))
+    assert model.total_bytes == sum(sizes)

@@ -1,0 +1,64 @@
+"""Unit tests for transport cost models."""
+
+import pytest
+
+from repro.net import LocalTransport, RDMATransport, TCPTransport, Transport
+from repro.units import MB, gbps, to_gbps
+
+
+def test_wire_time_is_size_over_effective_bandwidth_plus_overhead():
+    transport = Transport("t", overhead=0.001, efficiency=0.5)
+    # 100 bytes over 100 B/s at 50% efficiency -> 2s + 1ms overhead.
+    assert transport.wire_time(100, 100) == pytest.approx(2.001)
+
+
+def test_zero_size_message_still_pays_overhead():
+    transport = Transport("t", overhead=0.0003, efficiency=1.0)
+    assert transport.wire_time(0, gbps(10)) == pytest.approx(0.0003)
+
+
+def test_tcp_has_more_overhead_than_rdma():
+    tcp, rdma = TCPTransport(), RDMATransport()
+    assert tcp.overhead > rdma.overhead
+    assert tcp.efficiency < rdma.efficiency
+
+
+def test_rdma_faster_than_tcp_for_same_message():
+    tcp, rdma = TCPTransport(), RDMATransport()
+    bandwidth = gbps(100)
+    assert rdma.wire_time(4 * MB, bandwidth) < tcp.wire_time(4 * MB, bandwidth)
+
+
+def test_local_transport_is_cheapest():
+    local = LocalTransport()
+    assert local.overhead < RDMATransport().overhead
+
+
+def test_invalid_overhead_rejected():
+    with pytest.raises(ValueError):
+        Transport("t", overhead=-1.0, efficiency=1.0)
+
+
+@pytest.mark.parametrize("efficiency", [0.0, -0.5, 1.5])
+def test_invalid_efficiency_rejected(efficiency):
+    with pytest.raises(ValueError):
+        Transport("t", overhead=0.0, efficiency=efficiency)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        TCPTransport().wire_time(-1, gbps(1))
+
+
+def test_nonpositive_bandwidth_rejected():
+    with pytest.raises(ValueError):
+        TCPTransport().wire_time(1, 0)
+
+
+def test_gbps_round_trip():
+    assert to_gbps(gbps(25)) == pytest.approx(25.0)
+
+
+def test_gbps_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        gbps(0)

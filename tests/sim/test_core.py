@@ -1,0 +1,329 @@
+"""Unit tests for the discrete-event kernel (Environment/Event/Process)."""
+
+import pytest
+
+from repro.errors import Interrupt, SimulationError
+from repro.sim import Environment, Event
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_initial_time():
+    env = Environment(initial_time=12.5)
+    assert env.now == 12.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.0)
+        return env.now
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == 3.0
+    assert env.now == 3.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc(env):
+        got = yield env.timeout(1.0, value="payload")
+        return got
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == "payload"
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        for delay in (1.0, 2.0, 0.5):
+            yield env.timeout(delay)
+            times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [1.0, 3.0, 3.5]
+
+
+def test_same_time_events_fire_fifo():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter(env):
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(5.0)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert log == [(5.0, "open")]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    gate = env.event()
+    gate.succeed(1)
+    with pytest.raises(SimulationError):
+        gate.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield gate
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter(env))
+    gate.fail(ValueError("boom"))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_event_failure_surfaces():
+    env = Environment()
+    gate = env.event()
+    gate.fail(RuntimeError("nobody catches this"))
+    with pytest.raises(RuntimeError, match="nobody catches this"):
+        env.run()
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0)
+        return 42
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.ok
+    assert process.value == 42
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1.0)
+        raise KeyError("inner")
+
+    def outer(env):
+        try:
+            yield env.process(failing(env))
+        except KeyError:
+            return "handled"
+
+    process = env.process(outer(env))
+    env.run()
+    assert process.value == "handled"
+
+
+def test_process_unhandled_exception_surfaces():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1.0)
+        raise KeyError("unhandled")
+
+    env.process(failing(env))
+    with pytest.raises(KeyError):
+        env.run()
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def bad(env):
+        yield 17
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_yield_foreign_event_is_error():
+    env_a = Environment()
+    env_b = Environment()
+
+    def bad(env):
+        yield env_b.event().succeed()
+
+    env_a.process(bad(env_a))
+    env_b.run()
+    with pytest.raises(SimulationError, match="another environment"):
+        env_a.run()
+
+
+def test_process_waits_on_another_process():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2.0)
+        return "child-done"
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return (env.now, value)
+
+    process = env.process(parent(env))
+    env.run()
+    assert process.value == (2.0, "child-done")
+
+
+def test_yield_already_processed_event_continues_immediately():
+    env = Environment()
+    gate = env.event()
+    gate.succeed("early")
+
+    def late(env):
+        yield env.timeout(1.0)
+        value = yield gate
+        return (env.now, value)
+
+    process = env.process(late(env))
+    env.run()
+    assert process.value == (1.0, "early")
+
+
+def test_run_until_stops_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(100.0)
+
+    env.process(proc(env))
+    env.run(until=10.0)
+    assert env.now == 10.0
+
+
+def test_run_until_past_raises():
+    env = Environment(initial_time=5.0)
+    with pytest.raises(SimulationError):
+        env.run(until=1.0)
+
+
+def test_step_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_peek_empty_is_inf():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_interrupt_raises_in_process():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def attacker(env, victim_proc):
+        yield env.timeout(3.0)
+        victim_proc.interrupt("stop it")
+
+    victim_proc = env.process(victim(env))
+    env.process(attacker(env, victim_proc))
+    env.run()
+    assert log == [(3.0, "stop it")]
+
+
+def test_interrupt_dead_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    process = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_active_process_visible_during_resume():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        seen.append(env.active_process)
+        yield env.timeout(1.0)
+
+    process = env.process(proc(env))
+    env.run()
+    assert seen == [process]
+    assert env.active_process is None
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().value
+
+
+def test_event_ok_before_trigger_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().ok
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.process(lambda: None)

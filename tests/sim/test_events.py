@@ -1,0 +1,119 @@
+"""Unit tests for composite condition events (AllOf/AnyOf)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+
+
+def test_all_of_waits_for_everything():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="one")
+        t2 = env.timeout(5.0, value="five")
+        result = yield env.all_of([t1, t2])
+        return (env.now, sorted(result.values()))
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == (5.0, ["five", "one"])
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+        result = yield env.any_of([t1, t2])
+        return (env.now, list(result.values()))
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == (1.0, ["fast"])
+
+
+def test_all_of_empty_succeeds_immediately():
+    env = Environment()
+
+    def proc(env):
+        result = yield env.all_of([])
+        return result
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == {}
+
+
+def test_all_of_with_already_fired_events():
+    env = Environment()
+    gate = env.event()
+    gate.succeed("done")
+
+    def proc(env):
+        yield env.timeout(1.0)
+        result = yield env.all_of([gate])
+        return result[gate]
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == "done"
+
+
+def test_all_of_failure_propagates():
+    env = Environment()
+    caught = []
+
+    def proc(env):
+        good = env.timeout(1.0)
+        bad = env.event()
+        bad.fail(ValueError("broken"))
+        try:
+            yield env.all_of([good, bad])
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(proc(env))
+    env.run()
+    assert caught == ["broken"]
+
+
+def test_any_of_ignores_late_failure_after_success():
+    env = Environment()
+
+    def failer(env, gate):
+        yield env.timeout(5.0)
+        gate.fail(RuntimeError("late failure"))
+
+    def proc(env):
+        fast = env.timeout(1.0, value="fast")
+        gate = env.event()
+        env.process(failer(env, gate))
+        result = yield env.any_of([fast, gate])
+        return list(result.values())
+
+    process = env.process(proc(env))
+    env.run()  # must not raise despite the late failure
+    assert process.value == ["fast"]
+
+
+def test_condition_rejects_mixed_environments():
+    env_a = Environment()
+    env_b = Environment()
+    with pytest.raises(SimulationError):
+        env_a.all_of([env_b.event()])
+
+
+def test_all_of_values_in_firing_order():
+    env = Environment()
+
+    def proc(env):
+        slow = env.timeout(2.0, value="slow")
+        fast = env.timeout(1.0, value="fast")
+        result = yield env.all_of([slow, fast])
+        return list(result.values())
+
+    process = env.process(proc(env))
+    env.run()
+    assert process.value == ["fast", "slow"]

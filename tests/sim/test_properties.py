@@ -1,0 +1,109 @@
+"""Property-based tests for the simulation kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+    for index, delay in enumerate(delays):
+        env.timeout(delay).callbacks.append(
+            lambda _evt, i=index: fired.append((env.now, i))
+        )
+    env.run()
+    times = [time for time, _index in fired]
+    assert times == sorted(times)
+    assert len(fired) == len(delays)
+    assert env.now == max(delays)
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=2, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_equal_time_events_fire_in_schedule_order(delays):
+    env = Environment()
+    fired = []
+    for index, delay in enumerate(delays):
+        env.timeout(delay).callbacks.append(lambda _evt, i=index: fired.append(i))
+    env.run()
+    # Stable: among equal delays, earlier-scheduled fires first.
+    by_key = sorted(range(len(delays)), key=lambda i: (delays[i], i))
+    assert fired == by_key
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    holds=st.lists(st.floats(min_value=0.01, max_value=2.0), min_size=1, max_size=25),
+)
+@settings(max_examples=40, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    concurrent = [0]
+    peak = [0]
+
+    def user(env, hold):
+        with resource.request() as grant:
+            yield grant
+            concurrent[0] += 1
+            peak[0] = max(peak[0], concurrent[0])
+            yield env.timeout(hold)
+            concurrent[0] -= 1
+
+    for hold in holds:
+        env.process(user(env, hold))
+    env.run()
+    assert peak[0] <= capacity
+    assert concurrent[0] == 0
+    assert resource.count == 0
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_store_preserves_fifo_order(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+            yield env.timeout(0.1)
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items
+
+
+@given(
+    delays=st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=15),
+    seed_order=st.randoms(use_true_random=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_simulation_is_deterministic(delays, seed_order):
+    def run():
+        env = Environment()
+        log = []
+
+        def proc(env, delay, tag):
+            yield env.timeout(delay)
+            log.append((env.now, tag))
+            yield env.timeout(delay / 2)
+            log.append((env.now, tag))
+
+        for index, delay in enumerate(delays):
+            env.process(proc(env, delay, index))
+        env.run()
+        return log
+
+    assert run() == run()

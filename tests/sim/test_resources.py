@@ -1,0 +1,309 @@
+"""Unit tests for simulated resources (Resource/Store/Container)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    Container,
+    Environment,
+    PriorityResource,
+    PriorityStore,
+    Resource,
+    Store,
+)
+
+
+def test_resource_serializes_holders():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    log = []
+
+    def user(env, tag, hold):
+        with resource.request() as req:
+            yield req
+            log.append((tag, "start", env.now))
+            yield env.timeout(hold)
+            log.append((tag, "end", env.now))
+
+    env.process(user(env, "a", 2.0))
+    env.process(user(env, "b", 1.0))
+    env.run()
+    assert log == [
+        ("a", "start", 0.0),
+        ("a", "end", 2.0),
+        ("b", "start", 2.0),
+        ("b", "end", 3.0),
+    ]
+
+
+def test_resource_capacity_two_runs_pair_concurrently():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    ends = []
+
+    def user(env, hold):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(hold)
+            ends.append(env.now)
+
+    for _ in range(3):
+        env.process(user(env, 1.0))
+    env.run()
+    assert ends == [1.0, 1.0, 2.0]
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_resource_count_and_queue_length():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+
+    def holder(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    env.process(holder(env))
+    env.process(holder(env))
+    env.run(until=1.0)
+    assert resource.count == 1
+    assert resource.queue_length == 1
+
+
+def test_release_unqueued_request_is_cancel():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+
+    def holder(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(5.0)
+
+    def canceller(env):
+        yield env.timeout(1.0)
+        req = resource.request()
+        yield env.timeout(1.0)
+        resource.release(req)  # never granted; acts as cancellation
+
+    env.process(holder(env))
+    env.process(canceller(env))
+    env.run()
+    assert resource.queue_length == 0
+    assert resource.count == 0
+
+
+def test_priority_resource_orders_waiters():
+    env = Environment()
+    resource = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def user(env, delay, priority, tag):
+        yield env.timeout(delay)
+        with resource.request(priority=priority) as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(1.0)
+
+    env.process(holder(env))
+    env.process(user(env, 1.0, 5, "low"))
+    env.process(user(env, 2.0, 1, "high"))
+    env.run()
+    assert order == ["high", "low"]
+
+
+def test_priority_resource_fifo_within_priority():
+    env = Environment()
+    resource = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with resource.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def user(env, delay, tag):
+        yield env.timeout(delay)
+        with resource.request(priority=3) as req:
+            yield req
+            order.append(tag)
+
+    env.process(holder(env))
+    env.process(user(env, 1.0, "first"))
+    env.process(user(env, 2.0, "second"))
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for item in ("x", "y", "z"):
+            yield store.put(item)
+            yield env.timeout(1.0)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env):
+        item = yield store.get()
+        return (env.now, item)
+
+    def producer(env):
+        yield env.timeout(4.0)
+        yield store.put("late")
+
+    process = env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert process.value == (4.0, "late")
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env):
+        yield store.put(1)
+        times.append(env.now)
+        yield store.put(2)
+        times.append(env.now)
+
+    def consumer(env):
+        yield env.timeout(5.0)
+        yield store.get()
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert times == [0.0, 5.0]
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_priority_store_yields_smallest_first():
+    env = Environment()
+    store = PriorityStore(env)
+    got = []
+
+    def producer(env):
+        for item in ((3, "c"), (1, "a"), (2, "b")):
+            yield store.put(item)
+
+    def consumer(env):
+        yield env.timeout(1.0)
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item[1])
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == ["a", "b", "c"]
+
+
+def test_container_get_blocks_until_level():
+    env = Environment()
+    tank = Container(env, capacity=100.0, init=0.0)
+
+    def consumer(env):
+        yield tank.get(30.0)
+        return env.now
+
+    def producer(env):
+        for _ in range(3):
+            yield env.timeout(1.0)
+            yield tank.put(10.0)
+
+    process = env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert process.value == 3.0
+    assert tank.level == 0.0
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=10.0)
+
+    def producer(env):
+        yield tank.put(5.0)
+        return env.now
+
+    def consumer(env):
+        yield env.timeout(2.0)
+        yield tank.get(7.0)
+
+    process = env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert process.value == 2.0
+    assert tank.level == 8.0
+
+
+def test_container_invalid_init():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Container(env, capacity=5.0, init=6.0)
+
+
+def test_container_oversized_put_rejected():
+    env = Environment()
+    tank = Container(env, capacity=5.0)
+    with pytest.raises(SimulationError):
+        tank.put(6.0)
+
+
+def test_container_negative_amount_rejected():
+    env = Environment()
+    tank = Container(env, capacity=5.0)
+    with pytest.raises(SimulationError):
+        tank.get(-1.0)
+
+
+def test_container_cancel_pending_get():
+    env = Environment()
+    tank = Container(env, capacity=10.0)
+    pending = tank.get(5.0)
+    tank.cancel(pending)
+    tank.put(5.0)
+    env.run()
+    assert tank.level == 5.0
+    assert not pending.triggered
+
+
+def test_container_cancel_triggered_event_raises():
+    env = Environment()
+    tank = Container(env, capacity=10.0, init=5.0)
+    granted = tank.get(5.0)
+    with pytest.raises(SimulationError):
+        tank.cancel(granted)

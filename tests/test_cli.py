@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_models_lists_zoo(capsys):
+    code, out = run_cli(capsys, "models")
+    assert code == 0
+    for name in ("vgg16", "resnet50", "transformer", "alexnet", "vgg19"):
+        assert name in out
+
+
+def test_run_prints_summary(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--model", "resnet50", "--machines", "2",
+        "--gpus-per-machine", "2", "--measure", "2",
+    )
+    assert code == 0
+    assert "images/s" in out
+
+
+def test_run_compare_reports_speedup(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--model", "vgg16", "--machines", "2",
+        "--gpus-per-machine", "2", "--measure", "2",
+        "--scheduler", "bytescheduler",
+        "--partition-mb", "2", "--credit-mb", "8", "--compare",
+    )
+    assert code == 0
+    assert "speedup over baseline" in out
+
+
+def test_run_timeline(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--model", "resnet50", "--machines", "2",
+        "--gpus-per-machine", "1", "--measure", "2", "--timeline",
+        "--scheduler", "fifo",
+    )
+    assert code == 0
+    assert "stall" in out
+    assert "GPU" in out
+
+
+def test_tune_reports_best_knobs(capsys):
+    code, out = run_cli(
+        capsys,
+        "tune", "--model", "vgg16", "--machines", "2",
+        "--gpus-per-machine", "2", "--trials", "4",
+    )
+    assert code == 0
+    assert "best knobs" in out
+
+
+def test_reproduce_figure2(capsys):
+    code, out = run_cli(capsys, "reproduce", "figure2")
+    assert code == 0
+    assert "44.4%" in out
+
+
+def test_reproduce_fast_figure10(capsys):
+    code, out = run_cli(capsys, "reproduce", "figure10", "--fast")
+    assert code == 0
+    assert "bytescheduler" in out
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["reproduce", "figure99"])
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_version_flag():
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["--version"])
+    assert excinfo.value.code == 0

@@ -1,0 +1,113 @@
+"""End-to-end conservation and accounting invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import custom_model
+from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+from repro.units import MB
+
+
+def make_model(layer_bytes):
+    n = len(layer_bytes)
+    return custom_model(
+        layer_bytes=layer_bytes,
+        fp_times=[0.001] * n,
+        bp_times=[0.002] * n,
+        batch_size=8,
+        name="conserve",
+    )
+
+
+@pytest.mark.parametrize("kind", ["fifo", "bytescheduler", "p3"])
+def test_ps_worker_uplink_carries_exactly_the_model(kind):
+    """Every iteration each worker pushes the full gradient volume —
+    no bytes lost, none duplicated, for every scheduler."""
+    model = make_model([3 * MB, 9 * MB, 1 * MB])
+    cluster = ClusterSpec(machines=2, gpus_per_machine=1, bandwidth_gbps=10)
+    job = TrainingJob(model, cluster, SchedulerSpec(kind=kind))
+    iterations = 4
+    result = job.run(measure=iterations - 1, warmup=1)
+    for worker in job.workers:
+        pushed = job.fabric.nic(worker).uplink.bytes_sent
+        assert pushed == pytest.approx(iterations * model.total_bytes)
+
+
+def test_ps_worker_downlink_receives_exactly_the_model():
+    model = make_model([2 * MB, 6 * MB])
+    cluster = ClusterSpec(machines=2, gpus_per_machine=1, bandwidth_gbps=10)
+    job = TrainingJob(model, cluster, SchedulerSpec(kind="bytescheduler"))
+    iterations = 3
+    job.run(measure=iterations - 1, warmup=1)
+    for worker in job.workers:
+        pulled = job.fabric.nic(worker).downlink.bytes_sent
+        assert pulled == pytest.approx(iterations * model.total_bytes)
+
+
+def test_allreduce_reduces_exactly_the_model():
+    model = make_model([4 * MB, 12 * MB, 2 * MB])
+    cluster = ClusterSpec(
+        machines=2, gpus_per_machine=1, bandwidth_gbps=10, arch="allreduce"
+    )
+    job = TrainingJob(model, cluster, SchedulerSpec(kind="fifo"))
+    iterations = 3
+    job.run(measure=iterations - 1, warmup=1)
+    assert job.backend.bytes_reduced == pytest.approx(iterations * model.total_bytes)
+
+
+def test_server_load_is_balanced_under_chunk_sharding():
+    model = make_model([1 * MB, 30 * MB, 2 * MB, 3 * MB])
+    cluster = ClusterSpec(
+        machines=2, gpus_per_machine=1, bandwidth_gbps=10, sharding="chunk"
+    )
+    job = TrainingJob(
+        model,
+        cluster,
+        SchedulerSpec(kind="bytescheduler", partition_bytes=1 * MB, credit_bytes=4 * MB),
+    )
+    job.run(measure=2, warmup=1)
+    loads = [
+        job.fabric.nic(server).downlink.bytes_sent
+        for server in ("s0", "s1")
+    ]
+    assert max(loads) / min(loads) < 1.3
+
+
+def test_server_load_is_skewed_under_layer_sharding():
+    model = make_model([1 * MB, 30 * MB, 2 * MB, 3 * MB])
+    cluster = ClusterSpec(
+        machines=2, gpus_per_machine=1, bandwidth_gbps=10, sharding="layer"
+    )
+    job = TrainingJob(
+        model,
+        cluster,
+        SchedulerSpec(kind="bytescheduler", partition_bytes=1 * MB, credit_bytes=4 * MB),
+    )
+    job.run(measure=2, warmup=1)
+    loads = [
+        job.fabric.nic(server).downlink.bytes_sent
+        for server in ("s0", "s1")
+    ]
+    assert max(loads) / min(loads) > 5  # layer 1 (30 MB) pins one server
+
+
+@given(
+    layer_bytes=st.lists(
+        st.integers(min_value=64 * 1024, max_value=8 * 1024 * 1024),
+        min_size=2,
+        max_size=6,
+    ),
+    kind=st.sampled_from(["fifo", "bytescheduler"]),
+)
+@settings(max_examples=15, deadline=None)
+def test_random_models_complete_and_conserve(layer_bytes, kind):
+    """Property: any well-formed model trains to completion with exact
+    byte accounting, under either scheduler."""
+    model = make_model(layer_bytes)
+    cluster = ClusterSpec(machines=2, gpus_per_machine=1, bandwidth_gbps=10)
+    job = TrainingJob(model, cluster, SchedulerSpec(kind=kind))
+    result = job.run(measure=2, warmup=1)
+    assert result.speed > 0
+    pushed = job.fabric.nic("w0").uplink.bytes_sent
+    assert pushed == pytest.approx(3 * model.total_bytes)

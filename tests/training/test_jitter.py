@@ -1,0 +1,68 @@
+"""Tests for straggler (compute jitter) modelling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import custom_model
+from repro.training import ClusterSpec, SchedulerSpec, run_experiment
+from repro.units import MB
+
+
+def model():
+    return custom_model(
+        layer_bytes=[4 * MB, 12 * MB, 2 * MB],
+        fp_times=[0.002] * 3,
+        bp_times=[0.004] * 3,
+        batch_size=16,
+    )
+
+
+def cluster(jitter=0.0, seed=0, synchronous=True):
+    return ClusterSpec(
+        machines=3,
+        gpus_per_machine=1,
+        bandwidth_gbps=10,
+        compute_jitter=jitter,
+        seed=seed,
+        synchronous=synchronous,
+    )
+
+
+def test_zero_jitter_is_deterministic_default():
+    a = run_experiment(model(), cluster(), SchedulerSpec(kind="fifo"), measure=3)
+    b = run_experiment(model(), cluster(), SchedulerSpec(kind="fifo"), measure=3)
+    assert a.speed == b.speed
+    assert a.iteration_time_stdev < 1e-12  # float epsilon on marker diffs
+
+
+def test_jitter_is_seeded_and_reproducible():
+    a = run_experiment(model(), cluster(jitter=0.1, seed=7), SchedulerSpec(kind="fifo"), measure=4)
+    b = run_experiment(model(), cluster(jitter=0.1, seed=7), SchedulerSpec(kind="fifo"), measure=4)
+    c = run_experiment(model(), cluster(jitter=0.1, seed=8), SchedulerSpec(kind="fifo"), measure=4)
+    assert a.speed == b.speed
+    assert a.speed != c.speed
+
+
+def test_jitter_creates_iteration_variance():
+    result = run_experiment(
+        model(), cluster(jitter=0.15, seed=1), SchedulerSpec(kind="fifo"), measure=6
+    )
+    assert result.iteration_time_stdev > 0.0
+
+
+def test_stragglers_slow_synchronous_training():
+    """Sync PS waits for the slowest worker's push of every chunk, so
+    stragglers cost real throughput (averaged over seeds)."""
+    smooth = run_experiment(model(), cluster(), SchedulerSpec(kind="fifo"), measure=6).speed
+    jittered = [
+        run_experiment(
+            model(), cluster(jitter=0.3, seed=seed), SchedulerSpec(kind="fifo"), measure=6
+        ).speed
+        for seed in range(4)
+    ]
+    assert sum(jittered) / len(jittered) < smooth
+
+
+def test_negative_jitter_rejected():
+    with pytest.raises(ConfigError):
+        ClusterSpec(machines=1, compute_jitter=-0.1)

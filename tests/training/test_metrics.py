@@ -1,0 +1,64 @@
+"""Unit tests for training-speed measurement."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.training import TrainingResult
+
+
+def make_result(markers, warmup=1, measured=3, samples=100.0):
+    return TrainingResult(
+        markers={"w0": markers},
+        warmup=warmup,
+        measured=measured,
+        samples_per_iteration=samples,
+        sample_unit="images",
+        label="test",
+    )
+
+
+def test_iteration_times_skip_warmup():
+    # Iteration 0 (warm-up) was slow; steady state is 1s.
+    result = make_result([2.0, 3.0, 4.0, 5.0])
+    assert result.iteration_times() == [pytest.approx(1.0)] * 3
+    assert result.iteration_time == pytest.approx(1.0)
+    assert result.speed == pytest.approx(100.0)
+
+
+def test_stdev_zero_for_constant():
+    result = make_result([2.0, 3.0, 4.0, 5.0])
+    assert result.iteration_time_stdev == 0.0
+
+
+def test_stdev_positive_for_jitter():
+    result = make_result([2.0, 3.0, 4.5, 5.0])
+    assert result.iteration_time_stdev > 0.0
+
+
+def test_speedup_over():
+    fast = make_result([1.0, 1.5, 2.0, 2.5])
+    slow = make_result([2.0, 3.0, 4.0, 5.0])
+    assert fast.speedup_over(slow) == pytest.approx(1.0)  # 2x = +100%
+
+
+def test_missing_markers_rejected():
+    with pytest.raises(ConfigError):
+        make_result([1.0, 2.0])  # needs warmup+measured = 4
+
+
+def test_zero_measured_rejected():
+    with pytest.raises(ConfigError):
+        TrainingResult(
+            markers={"w0": [1.0]},
+            warmup=1,
+            measured=0,
+            samples_per_iteration=1.0,
+            sample_unit="images",
+        )
+
+
+def test_summary_mentions_unit_and_label():
+    result = make_result([2.0, 3.0, 4.0, 5.0])
+    text = result.summary()
+    assert "test" in text
+    assert "images/s" in text

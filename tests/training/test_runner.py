@@ -1,0 +1,69 @@
+"""Tests for the runner helpers (run_experiment / linear scaling)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import ModelSpec, custom_model, get_model
+from repro.training import (
+    ClusterSpec,
+    SchedulerSpec,
+    linear_scaling_speed,
+    run_experiment,
+    resolve_model,
+)
+from repro.units import MB
+
+
+def test_resolve_model_accepts_name_and_spec():
+    by_name = resolve_model("vgg16")
+    assert isinstance(by_name, ModelSpec)
+    spec = custom_model([1 * MB], [0.001], [0.002])
+    assert resolve_model(spec) is spec
+
+
+def test_resolve_model_unknown_name():
+    with pytest.raises(ConfigError):
+        resolve_model("lenet")
+
+
+def test_run_experiment_default_scheduler_is_bytescheduler():
+    cluster = ClusterSpec(machines=2, gpus_per_machine=1, bandwidth_gbps=10)
+    result = run_experiment(
+        custom_model([8 * MB, 2 * MB], [0.002, 0.002], [0.004, 0.004]),
+        cluster,
+        measure=2,
+    )
+    assert "bytescheduler" in result.label
+
+
+def test_linear_scaling_uses_local_aggregation():
+    """The 1-machine reference is the vanilla local run — its speed does
+    not depend on the distributed architecture (PS vs all-reduce)."""
+    model = custom_model([8 * MB, 24 * MB], [0.002] * 2, [0.004] * 2)
+    ps = ClusterSpec(machines=4, bandwidth_gbps=10, arch="ps")
+    ar = ClusterSpec(machines=4, bandwidth_gbps=10, arch="allreduce")
+    assert linear_scaling_speed(model, ps) == pytest.approx(
+        linear_scaling_speed(model, ar), rel=1e-9
+    )
+
+
+def test_linear_scaling_framework_barrier_never_helps():
+    """A barrier framework can only be slower (or equal) on one machine
+    — its linear reference never exceeds the barrier-free one."""
+    model = custom_model(
+        [32 * MB, 64 * MB], [0.010] * 2, [0.020] * 2, batch_size=16
+    )
+    mxnet = ClusterSpec(machines=2, framework="mxnet", local_bandwidth=8 * 1024**3)
+    tensorflow = ClusterSpec(
+        machines=2, framework="tensorflow", local_bandwidth=8 * 1024**3
+    )
+    assert linear_scaling_speed(model, tensorflow) <= linear_scaling_speed(model, mxnet)
+
+
+def test_linear_scaling_scales_with_machines():
+    model = custom_model([4 * MB], [0.002], [0.004])
+    small = ClusterSpec(machines=2, bandwidth_gbps=10)
+    large = ClusterSpec(machines=8, bandwidth_gbps=10)
+    assert linear_scaling_speed(model, large) == pytest.approx(
+        4 * linear_scaling_speed(model, small)
+    )

@@ -1,0 +1,78 @@
+"""Unit tests for Gaussian-process regression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TuningError
+from repro.tuning import GaussianProcess
+
+
+def test_interpolates_training_points():
+    x = np.array([[0.1, 0.1], [0.5, 0.5], [0.9, 0.2]])
+    y = np.array([1.0, 3.0, 2.0])
+    gp = GaussianProcess(noise_variance=1e-8).fit(x, y)
+    mean, std = gp.predict(x)
+    assert mean == pytest.approx(y, abs=1e-3)
+    assert (std < 0.05).all()
+
+
+def test_uncertainty_grows_away_from_data():
+    x = np.array([[0.5, 0.5]])
+    y = np.array([1.0])
+    gp = GaussianProcess().fit(x, y)
+    _m_near, std_near = gp.predict(np.array([[0.52, 0.5]]))
+    _m_far, std_far = gp.predict(np.array([[0.0, 1.0]]))
+    assert std_far[0] > std_near[0]
+
+
+def test_reverts_to_mean_far_away():
+    x = np.array([[0.5, 0.5], [0.55, 0.5]])
+    y = np.array([10.0, 12.0])
+    gp = GaussianProcess(length_scale=0.05).fit(x, y)
+    mean, _std = gp.predict(np.array([[0.0, 0.0]]))
+    assert mean[0] == pytest.approx(11.0, abs=0.5)  # the data mean
+
+
+def test_confidence_interval_contains_mean():
+    x = np.array([[0.2, 0.3], [0.8, 0.7]])
+    y = np.array([1.0, 2.0])
+    gp = GaussianProcess().fit(x, y)
+    query = np.array([[0.5, 0.5]])
+    low, high = gp.confidence_interval(query)
+    mean, _ = gp.predict(query)
+    assert low[0] < mean[0] < high[0]
+
+
+def test_noise_smooths_duplicates():
+    x = np.array([[0.5, 0.5], [0.5, 0.5]])
+    y = np.array([1.0, 3.0])
+    gp = GaussianProcess(noise_variance=0.5).fit(x, y)
+    mean, _ = gp.predict(np.array([[0.5, 0.5]]))
+    assert mean[0] == pytest.approx(2.0, abs=0.5)
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(TuningError):
+        GaussianProcess().predict(np.array([[0.5, 0.5]]))
+
+
+def test_fit_validation():
+    gp = GaussianProcess()
+    with pytest.raises(TuningError):
+        gp.fit(np.zeros((0, 2)), np.zeros(0))
+    with pytest.raises(TuningError):
+        gp.fit(np.zeros((2, 2)), np.zeros(3))
+    with pytest.raises(TuningError):
+        gp.fit(np.zeros(3), np.zeros(3))
+
+
+def test_invalid_hyperparameters():
+    with pytest.raises(TuningError):
+        GaussianProcess(length_scale=0.0)
+
+
+def test_1d_query_accepted():
+    x = np.array([[0.3, 0.3]])
+    gp = GaussianProcess().fit(x, np.array([5.0]))
+    mean, std = gp.predict(np.array([0.3, 0.3]))
+    assert mean.shape == (1,)

@@ -1,0 +1,161 @@
+"""Tests for the §7 extensions: online re-tuning and per-layer partitions."""
+
+import pytest
+
+from repro.errors import SchedulerError, TuningError
+from repro.models import custom_model, get_model
+from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+from repro.tuning import OnlineTuner, SearchSpace
+from repro.units import MB
+
+
+def make_job(arch="allreduce", kind="bytescheduler", partition=2 * MB, credit=4 * MB):
+    cluster = ClusterSpec(
+        machines=2, gpus_per_machine=2, arch=arch, transport="rdma",
+        framework="mxnet", bandwidth_gbps=25,
+    )
+    model = custom_model(
+        layer_bytes=[8 * MB, 24 * MB, 4 * MB],
+        fp_times=[0.002] * 3,
+        bp_times=[0.004] * 3,
+        batch_size=16,
+    )
+    spec = SchedulerSpec(kind=kind, partition_bytes=partition, credit_bytes=credit)
+    return TrainingJob(model, cluster, spec)
+
+
+SPACE = SearchSpace(1 * MB, 64 * MB, 2 * MB, 256 * MB)
+
+
+def test_online_tuner_improves_bad_initial_knobs():
+    job = make_job(partition=1 * MB, credit=1 * MB)  # badly under-tuned
+    tuner = OnlineTuner(job, space=SPACE, segment_iterations=2, seed=0)
+    result = tuner.run(segments=6, final_iterations=3)
+    first_speed = result.segments[0][1]
+    assert result.final_speed >= first_speed * 0.95
+    assert result.best_speed >= max(s for _p, s in result.segments) - 1e-9
+    assert result.num_segments == 6
+
+
+def test_online_tuner_allreduce_retunes_without_restart_cost():
+    job = make_job(arch="allreduce")
+    tuner = OnlineTuner(job, space=SPACE, segment_iterations=2)
+    result = tuner.run(segments=4)
+    assert result.restart_overhead == 0.0
+
+
+def test_online_tuner_ps_charges_restarts():
+    job = make_job(arch="ps")
+    tuner = OnlineTuner(job, space=SPACE, segment_iterations=2, restart_penalty=5.0)
+    result = tuner.run(segments=4)
+    # BO explores: at least one partition change across 4 segments.
+    assert result.restart_overhead >= 5.0
+
+
+def test_online_tuner_rejects_fifo_jobs():
+    job = make_job(kind="fifo", partition=4 * MB, credit=16 * MB)
+    with pytest.raises(TuningError):
+        OnlineTuner(job, space=SPACE)
+
+
+def test_online_tuner_validation():
+    job = make_job()
+    with pytest.raises(TuningError):
+        OnlineTuner(job, space=SPACE, segment_iterations=0)
+    tuner = OnlineTuner(job, space=SPACE)
+    with pytest.raises(TuningError):
+        tuner.run(segments=0)
+
+
+def test_job_reconfigure_applies_to_later_iterations():
+    job = make_job(partition=2 * MB)
+    job.extend(2)
+    job.drain()
+    job.reconfigure(partition_bytes=8 * MB, credit_bytes=32 * MB)
+    job.extend(2)
+    job.drain()
+    core = job.master_core
+    assert core.partition_bytes == 8 * MB
+    assert core.credit_capacity == 32 * MB
+
+
+def test_segment_speed_validation():
+    job = make_job()
+    job.extend(3)
+    job.drain()
+    assert job.segment_speed(1, 3) > 0
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        job.segment_speed(0, 3)  # needs a previous marker
+    with pytest.raises(ConfigError):
+        job.segment_speed(2, 9)  # beyond what was built
+
+
+def test_per_layer_partition_overrides():
+    """§7: different partition sizes for different layers."""
+    cluster = ClusterSpec(machines=2, gpus_per_machine=2, bandwidth_gbps=25)
+    model = custom_model(
+        layer_bytes=[8 * MB, 24 * MB, 4 * MB],
+        fp_times=[0.002] * 3,
+        bp_times=[0.004] * 3,
+        batch_size=16,
+    )
+    spec = SchedulerSpec(
+        kind="bytescheduler",
+        partition_bytes=4 * MB,
+        credit_bytes=16 * MB,
+        partition_overrides=((1, 12 * MB),),
+    )
+    job = TrainingJob(model, cluster, spec)
+    job.extend(1)
+    job.drain()
+    assert job.master_core.partition_overrides == {1: 12 * MB}
+
+
+def test_partition_override_chunk_counts():
+    from repro.comm.base import ChunkHandle, CommBackend
+    from repro.core import ByteSchedulerCore
+    from repro.sim import Environment
+
+    class NullBackend(CommBackend):
+        is_collective = True
+        workers = ("m0",)
+
+        def __init__(self, env):
+            self.env = env
+
+        def start_chunk(self, chunk):
+            done = self.env.timeout(0.0, value=chunk)
+            return ChunkHandle(sent=done, done=done)
+
+    env = Environment()
+    core = ByteSchedulerCore(
+        env,
+        NullBackend(env),
+        partition_bytes=4 * MB,
+        partition_overrides={1: 12 * MB},
+    )
+    default_task = core.create_task(0, 0, 24 * MB)
+    override_task = core.create_task(0, 1, 24 * MB)
+    assert len(default_task.subtasks) == 6
+    assert len(override_task.subtasks) == 2
+
+
+def test_partition_override_validation():
+    from repro.comm.base import ChunkHandle, CommBackend
+    from repro.core import ByteSchedulerCore
+    from repro.sim import Environment
+
+    class NullBackend(CommBackend):
+        is_collective = True
+        workers = ("m0",)
+
+        def start_chunk(self, chunk):  # pragma: no cover - never called
+            raise AssertionError
+
+    env = Environment()
+    with pytest.raises(SchedulerError):
+        ByteSchedulerCore(
+            env, NullBackend(), partition_overrides={0: -1.0}
+        )

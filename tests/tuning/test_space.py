@@ -1,0 +1,79 @@
+"""Unit tests for the (partition, credit) search space."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TuningError
+from repro.tuning import SearchSpace
+from repro.units import KB, MB
+
+
+def test_unit_round_trip():
+    space = SearchSpace()
+    point = (4 * MB, 32 * MB)
+    unit = space.to_unit(point)
+    back = space.from_unit(unit)
+    assert back[0] == pytest.approx(point[0], rel=1e-9)
+    assert back[1] == pytest.approx(point[1], rel=1e-9)
+
+
+def test_corners_map_to_bounds():
+    space = SearchSpace()
+    assert space.from_unit((0.0, 0.0)) == pytest.approx(
+        (space.partition_min, space.credit_min)
+    )
+    assert space.from_unit((1.0, 1.0)) == pytest.approx(
+        (space.partition_max, space.credit_max)
+    )
+
+
+def test_from_unit_clips_out_of_range():
+    space = SearchSpace()
+    low = space.from_unit((-1.0, 2.0))
+    assert low[0] == pytest.approx(space.partition_min)
+    assert low[1] == pytest.approx(space.credit_max)
+
+
+def test_clip():
+    space = SearchSpace(partition_min=1 * MB, partition_max=8 * MB)
+    assert space.clip((100 * MB, 1 * MB))[0] == 8 * MB
+    assert space.clip((1 * KB, 1 * MB))[0] == 1 * MB
+
+
+def test_grid_is_log_uniform_and_complete():
+    space = SearchSpace()
+    grid = space.grid(4)
+    assert len(grid) == 16
+    partitions = sorted({point[0] for point in grid})
+    # Log-uniform: successive ratios equal.
+    ratios = [b / a for a, b in zip(partitions, partitions[1:])]
+    assert all(r == pytest.approx(ratios[0], rel=1e-9) for r in ratios)
+
+
+def test_grid_resolution_validation():
+    with pytest.raises(TuningError):
+        SearchSpace().grid(1)
+
+
+def test_sample_is_reproducible():
+    space = SearchSpace()
+    assert space.sample(random.Random(3)) == space.sample(random.Random(3))
+
+
+def test_invalid_ranges_rejected():
+    with pytest.raises(TuningError):
+        SearchSpace(partition_min=8 * MB, partition_max=4 * MB)
+    with pytest.raises(TuningError):
+        SearchSpace(credit_min=0.0)
+
+
+@given(u=st.floats(0, 1), v=st.floats(0, 1))
+@settings(max_examples=50, deadline=None)
+def test_from_unit_always_in_box(u, v):
+    space = SearchSpace()
+    partition, credit = space.from_unit((u, v))
+    assert space.partition_min <= partition <= space.partition_max * (1 + 1e-9)
+    assert space.credit_min <= credit <= space.credit_max * (1 + 1e-9)
