@@ -12,6 +12,17 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Every bench reruns a whole experiment: all are ``slow``.
+
+    Tier-1 (`pytest -x -q`) never collects this directory (testpaths);
+    the marker additionally lets `pytest benchmarks/ -m "not slow"`
+    deselect them when this directory *is* targeted.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

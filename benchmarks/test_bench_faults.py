@@ -1,0 +1,37 @@
+"""Bench: goodput under faults — FIFO vs ByteScheduler on a degraded fabric.
+
+Not a paper figure: the paper evaluates on a healthy cluster (§6).  This
+bench asks the robustness question credit-based preemption begs — when a
+worker straggles or a link degrades, which scheduler keeps more of its
+throughput?  ByteScheduler must stay at least as fast as FIFO under
+every injected fault.
+"""
+
+from conftest import run_once
+
+from repro.experiments import faults
+
+
+def test_bench_faults(benchmark, report):
+    result = run_once(benchmark, faults.run, machines=2, measure=3)
+    report(faults.format_result(result))
+
+    healthy = result.speeds["healthy"]
+    assert healthy["bytescheduler"] > healthy["fifo"]
+
+    # The headline claim: scheduling still wins under every fault.
+    for scenario in ("straggler", "lossy", "slow-uplink", "blackout"):
+        speeds = result.speeds[scenario]
+        assert speeds["bytescheduler"] >= speeds["fifo"], scenario
+        # Faults cost throughput but never starve a run outright.
+        assert result.retained(scenario, "bytescheduler") > 0.2, scenario
+
+    # On network faults ByteScheduler also degrades more gracefully.
+    for scenario in ("lossy", "slow-uplink", "blackout"):
+        assert result.retained(scenario, "bytescheduler") >= result.retained(
+            scenario, "fifo"
+        ), scenario
+
+    # The blackout scenario actually exercises the timeout/retry path.
+    timeouts, retries = result.robustness["blackout"]["fifo"]
+    assert timeouts > 0 and retries > 0

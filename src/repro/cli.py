@@ -40,6 +40,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also run the FIFO baseline and report the speedup")
     run.add_argument("--timeline", action="store_true",
                      help="print the per-iteration breakdown and gantt")
+    run.add_argument(
+        "--fault-plan", default=None, metavar="SPEC",
+        help="inject faults, e.g. "
+             "'straggler:w0@0.0-0.5x3;slowlink:w1.up@0.1-0.3x0.25;loss:0.02;seed:7'",
+    )
+    run.add_argument("--retry-timeout-ms", type=float, default=None,
+                     help="per-transfer timeout before retransmission (ms)")
+    run.add_argument("--retry-backoff", type=float, default=2.0,
+                     help="timeout multiplier per retry attempt")
+    run.add_argument("--max-retries", type=int, default=3,
+                     help="retransmissions per transfer before giving up")
 
     tune = commands.add_parser("tune", help="auto-tune partition and credit sizes")
     _add_cluster_args(tune)
@@ -56,7 +67,8 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "figure2", "figure4", "figure9", "figure10", "figure11",
             "figure12", "figure13", "figure14", "table1", "p3",
-            "bounds", "ablations", "extensions", "coscheduling", "all",
+            "bounds", "ablations", "extensions", "coscheduling", "faults",
+            "all",
         ],
     )
     reproduce.add_argument("--fast", action="store_true",
@@ -83,6 +95,7 @@ def _add_cluster_args(sub: argparse.ArgumentParser) -> None:
 def _cluster_from(args: argparse.Namespace):
     from repro.training import ClusterSpec
 
+    retry_ms = getattr(args, "retry_timeout_ms", None)
     return ClusterSpec(
         machines=args.machines,
         gpus_per_machine=args.gpus_per_machine,
@@ -90,6 +103,9 @@ def _cluster_from(args: argparse.Namespace):
         transport=args.transport,
         arch=args.arch,
         framework=args.framework,
+        retry_timeout=retry_ms / 1e3 if retry_ms is not None else None,
+        retry_backoff=getattr(args, "retry_backoff", 2.0),
+        max_retries=getattr(args, "max_retries", 3),
     )
 
 
@@ -110,11 +126,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         kind=args.scheduler, partition_bytes=partition, credit_bytes=credit
     )
 
+    fault_plan = None
+    if args.fault_plan:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.parse(args.fault_plan)
+        print(f"fault plan: {fault_plan.describe()}")
     job = TrainingJob(
-        resolve_model(args.model), cluster, spec, enable_trace=args.timeline
+        resolve_model(args.model),
+        cluster,
+        spec,
+        enable_trace=args.timeline,
+        fault_plan=fault_plan,
     )
     result = job.run(measure=args.measure)
     print(result.summary())
+    if fault_plan is not None:
+        timeouts = getattr(job.backend, "timeouts", 0)
+        retries = getattr(job.backend, "retries", 0)
+        print(f"robustness: {timeouts} transfer timeouts, {retries} retries")
     if args.timeline:
         from repro.analysis import analyze_worker, ascii_gantt, format_breakdown
 
@@ -123,7 +153,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(ascii_gantt(job))
     if args.compare:
         baseline = run_experiment(
-            args.model, cluster, SchedulerSpec(kind="fifo"), measure=args.measure
+            args.model, cluster, SchedulerSpec(kind="fifo"),
+            measure=args.measure, fault_plan=fault_plan,
         )
         print(baseline.summary())
         print(f"speedup over baseline: +{result.speedup_over(baseline) * 100:.0f}%")
@@ -209,6 +240,10 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     elif target == "coscheduling":
         print(exp.coscheduling.format_result(
             exp.coscheduling.run(machines=2 if fast else 4)
+        ))
+    elif target == "faults":
+        print(exp.faults.format_result(
+            exp.faults.run(machines=2, measure=2 if fast else 3)
         ))
     elif target == "extensions":
         machines = 2 if fast else 4

@@ -1,7 +1,7 @@
 """Gradient synchronisation backends: parameter server and ring all-reduce."""
 
 from repro.comm.allreduce import RingAllReduceBackend
-from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend
+from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend, RetryPolicy
 from repro.comm.ps import PSBackend
 from repro.comm.sharding import (
     BigTensorSplit,
@@ -16,6 +16,7 @@ __all__ = [
     "ChunkSpec",
     "ChunkHandle",
     "CommBackend",
+    "RetryPolicy",
     "PSBackend",
     "RingAllReduceBackend",
     "ShardingStrategy",

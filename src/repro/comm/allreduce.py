@@ -14,12 +14,13 @@ backend therefore refuses per-worker scheduling (``is_collective``).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import random
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 from repro.net.transport import Transport
 from repro.sim import Environment, Trace
-from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend
+from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend, RetryPolicy
 from repro.units import GB, MS, US
 
 __all__ = ["RingAllReduceBackend"]
@@ -44,6 +45,7 @@ class RingAllReduceBackend(CommBackend):
         base_sync: float = 0.4 * MS,
         per_rank_sync: float = 25 * US,
         trace: Optional[Trace] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if machines < 1:
             raise ConfigError(f"machines must be >= 1, got {machines}")
@@ -62,6 +64,15 @@ class RingAllReduceBackend(CommBackend):
         self._busy_until = env.now
         self.collectives_run = 0
         self.bytes_reduced = 0.0
+        self.retry = retry
+        #: Fault-plan hooks (set by repro.faults.inject): degradation
+        #: windows stall/slow the ring, loss fails whole collectives.
+        self._fault_windows: Tuple[Tuple[float, float, float], ...] = ()
+        self._loss_probability = 0.0
+        self._fault_rng: Optional[random.Random] = None
+        #: Robustness counters (read by the faults experiment).
+        self.timeouts = 0
+        self.retries = 0
 
     @property
     def workers(self) -> Tuple[str, ...]:
@@ -94,13 +105,83 @@ class RingAllReduceBackend(CommBackend):
             wire = 2 * (ranks - 1) / ranks * size / self.local_bandwidth
         return wire + self.sync_overhead()
 
+    def set_fault_windows(
+        self, windows: Sequence[Tuple[float, float, float]]
+    ) -> None:
+        """Impose ring degradation windows from a fault plan.
+
+        A degraded window scales the whole ring's progress (the ring
+        moves at the speed of its slowest hop); factor 0 stalls it.
+        """
+        self._fault_windows = tuple(windows)
+
+    def set_loss(self, probability: float, rng: random.Random) -> None:
+        """Make collectives fail with ``probability`` (seeded draws).
+
+        A failed collective is detected after the retry policy's
+        timeout and re-executed; without a retry policy, losses are
+        surfaced as one extra full execution (NCCL-style internal
+        retransmission).
+        """
+        if not 0.0 <= probability < 1.0:
+            raise ConfigError(
+                f"loss probability must be in [0, 1), got {probability!r}"
+            )
+        self._loss_probability = probability
+        self._fault_rng = rng
+
+    def _finish_time(self, start: float, work: float) -> float:
+        """Completion time of ``work`` seconds of ring time from
+        ``start``, under the fault plan's degradation windows."""
+        if not self._fault_windows:
+            return start + work
+        from repro.faults.plan import degraded_finish
+
+        return degraded_finish(start, work, self._fault_windows)
+
+    def _failed_attempts(self) -> int:
+        """Seeded draw: consecutive failures before this collective
+        succeeds (bounded by the retry budget)."""
+        if self._fault_rng is None or self._loss_probability <= 0:
+            return 0
+        budget = self.retry.max_retries if self.retry is not None else 1
+        failures = 0
+        while failures < budget and self._fault_rng.random() < self._loss_probability:
+            failures += 1
+        return failures
+
     def start_chunk(self, chunk: ChunkSpec) -> ChunkHandle:
         if chunk.worker is not None:
             raise ConfigError(
                 "all-reduce chunks are collective; start them without a worker"
             )
         start = max(self.env.now, self._busy_until)
-        end = start + self.collective_time(chunk.size)
+        duration = self.collective_time(chunk.size)
+        cursor = start
+        for attempt in range(self._failed_attempts()):
+            # A failed collective occupies the ring until the stack
+            # notices — after its own duration, or the retry deadline,
+            # whichever is shorter — then is re-issued.
+            wasted = duration
+            if self.retry is not None:
+                wasted = min(wasted, self.retry.attempt_timeout(attempt))
+                self.retries += 1
+            self.timeouts += 1
+            failed_end = self._finish_time(cursor, wasted)
+            if self.trace is not None:
+                self.trace.span(
+                    "timeout",
+                    f"allreduce:iter{chunk.iteration}.layer{chunk.layer}",
+                    cursor,
+                    failed_end,
+                    attempt=attempt,
+                    size=chunk.size,
+                )
+                self.trace.point(
+                    "retry", f"allreduce:iter{chunk.iteration}.layer{chunk.layer}"
+                )
+            cursor = failed_end
+        end = self._finish_time(cursor, duration)
         self._busy_until = end
         self.collectives_run += 1
         self.bytes_reduced += chunk.size

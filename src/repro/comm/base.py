@@ -25,7 +25,40 @@ from typing import Optional, Tuple
 
 from repro.sim import Event
 
-__all__ = ["ChunkSpec", "ChunkHandle", "CommBackend"]
+__all__ = ["ChunkSpec", "ChunkHandle", "CommBackend", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-transfer timeout with bounded exponential-backoff retry.
+
+    A transfer that has not completed ``timeout`` seconds after being
+    handed to the stack is declared lost and retransmitted; each
+    subsequent attempt waits ``backoff`` times longer before giving up,
+    up to ``max_retries`` retransmissions.  The first completion (of
+    any copy) wins; later copies are ignored.  Exhausting the retry
+    budget leaves the original copies in flight — the simulated fabric
+    always delivers eventually, so this degrades throughput rather than
+    losing data (documented deviation from a real lossy network).
+    """
+
+    timeout: float
+    max_retries: int = 3
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(f"retry timeout must be > 0, got {self.timeout!r}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff!r}")
+
+    def attempt_timeout(self, attempt: int) -> float:
+        """Deadline for the ``attempt``-th try (0-based), in seconds."""
+        return self.timeout * self.backoff**attempt
 
 
 @dataclass(frozen=True)

@@ -27,8 +27,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigError
 from repro.net import Fabric, Link, Message, Transport
+from repro.net.fabric import TransferHandle
 from repro.sim import Environment, Event
-from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend
+from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend, RetryPolicy
 from repro.comm.sharding import ChunkRoundRobin, ShardingStrategy
 from repro.units import GB, US
 
@@ -64,6 +65,7 @@ class PSBackend(CommBackend):
         synchronous: bool = True,
         update_rate: float = DEFAULT_UPDATE_RATE,
         ack_delay: float = 0.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if not workers:
             raise ConfigError("PSBackend needs at least one worker")
@@ -75,6 +77,10 @@ class PSBackend(CommBackend):
         self.servers = tuple(servers)
         self.synchronous = synchronous
         self.ack_delay = ack_delay
+        self.retry = retry
+        #: Robustness counters (read by the faults experiment).
+        self.timeouts = 0
+        self.retries = 0
         self.sharding = sharding or ChunkRoundRobin()
         if layer_bytes is not None:
             self.sharding.prepare(layer_bytes, len(self.servers))
@@ -114,7 +120,7 @@ class PSBackend(CommBackend):
         state.waiters[chunk.worker] = done
 
         push = Message(chunk.worker, server, chunk.size, kind="push", payload=chunk)
-        handle = self.fabric.transfer(push)
+        handle = self._transfer(push)
         handle.delivered.callbacks.append(
             lambda _evt, c=chunk, s=server: self._on_push_delivered(c, s)
         )
@@ -135,6 +141,70 @@ class PSBackend(CommBackend):
         return ChunkHandle(sent=acked, done=done)
 
     # -- internal ----------------------------------------------------------
+
+    def _transfer(self, message: Message) -> TransferHandle:
+        """Move ``message`` through the fabric, with retry if configured.
+
+        Without a :class:`RetryPolicy` this is a plain fabric transfer.
+        With one, each attempt arms a timeout; an attempt that has not
+        delivered by its deadline is declared lost, recorded as a
+        ``timeout`` span in the trace, and retransmitted (a fresh copy
+        re-enters the FIFO links, consuming real bandwidth) with an
+        exponentially longer deadline.  The returned handle's events
+        fire on the *first* copy to reach each milestone.
+        """
+        if self.retry is None:
+            return self.fabric.transfer(message)
+        policy = self.retry
+        trace = self.fabric.trace
+        sent = self.env.event()
+        delivered = self.env.event()
+
+        def first(event: Event) -> None:
+            if not event.triggered:
+                event.succeed(message)
+
+        def attempt(number: int) -> None:
+            if number == 0:
+                copy = message
+            else:
+                copy = Message(
+                    message.src,
+                    message.dst,
+                    message.size,
+                    kind=message.kind,
+                    payload=message.payload,
+                )
+            handle = self.fabric.transfer(copy)
+            handle.sent.callbacks.append(lambda _evt: first(sent))
+            handle.delivered.callbacks.append(lambda _evt: first(delivered))
+            deadline = policy.attempt_timeout(number)
+            started_at = self.env.now
+            self.env.timeout(deadline).callbacks.append(
+                lambda _evt: expire(number, started_at)
+            )
+
+        def expire(number: int, started_at: float) -> None:
+            if delivered.triggered:
+                return
+            self.timeouts += 1
+            if trace is not None:
+                trace.span(
+                    "timeout",
+                    f"{message.kind}:{message.src}->{message.dst}",
+                    started_at,
+                    self.env.now,
+                    attempt=number,
+                    size=message.size,
+                )
+            if number < policy.max_retries:
+                self.retries += 1
+                if trace is not None:
+                    trace.point("retry", f"{message.kind}:{message.src}->{message.dst}")
+                attempt(number + 1)
+
+        attempt(0)
+        return TransferHandle(sent=sent, delivered=delivered)
 
     def _on_push_delivered(self, chunk: ChunkSpec, server: str) -> None:
         state = self._pending[chunk.key]
@@ -163,7 +233,7 @@ class PSBackend(CommBackend):
         def _send_pulls(_evt: Event = None) -> None:
             for worker in pullers:
                 pull = Message(server, worker, chunk.size, kind="pull", payload=chunk)
-                handle = self.fabric.transfer(pull)
+                handle = self._transfer(pull)
                 handle.delivered.callbacks.append(
                     lambda _e, w=worker: self._on_pull_delivered(chunk, w)
                 )

@@ -19,10 +19,16 @@ Two deliberate, documented deviations from the pseudo-code:
 
 * the credit test is ``credit >= size`` rather than ``>`` (float
   equality is meaningful here because partitions are equal-sized);
-* if the queue head is larger than the *total* credit and nothing is in
-  flight, it is started anyway — otherwise a tensor bigger than the
-  credit would deadlock the worker.  (The paper avoids this case by
-  always tuning credit ≥ partition size.)
+* if the queue head does not fit the *available* credit and nothing is
+  in flight, it is started anyway (uncharged) — with nothing in flight
+  no credit will ever return, so waiting would deadlock the worker.
+  This covers a tensor bigger than the whole window (the paper avoids
+  that by tuning credit ≥ partition size), a per-layer
+  ``partition_overrides`` unit bigger than the window, and the
+  float-drift case where mixed partition sizes leave the credit a few
+  ULPs short of capacity forever.  As a second guard, the credit is
+  snapped back to capacity whenever the last in-flight partition
+  returns, so drift cannot accumulate across iterations.
 """
 
 from __future__ import annotations
@@ -208,7 +214,11 @@ class ByteSchedulerCore:
         while self._queue:
             _priority, _seq, subtask = self._queue[0]
             fits = self.credit >= subtask.size
-            escape = self._inflight == 0 and subtask.size > self.credit_capacity
+            # Liveness escape: with nothing in flight, no credit will
+            # ever return, so a head that does not fit *now* never will
+            # — start it uncharged (oversized tensors, oversized
+            # per-layer partition overrides, or float drift).
+            escape = self._inflight == 0 and not fits
             if not fits and not escape:
                 return  # head-of-line blocking is intentional (priority!)
             heapq.heappop(self._queue)
@@ -243,6 +253,10 @@ class ByteSchedulerCore:
         self._inflight -= 1
         if charged:
             self.credit += subtask.size
+        if self._inflight == 0:
+            # All lent credit is back; snap away any float drift from
+            # mixed partition sizes so `credit == capacity` stays exact.
+            self.credit = self.credit_capacity
         self._kick()
 
     def _finish(self, subtask: SubCommTask) -> None:

@@ -6,6 +6,7 @@ from repro.experiments import (
     coscheduling,
     extensions,
     extra,
+    faults,
     figure2,
     figure4,
     figure9,
@@ -32,6 +33,7 @@ __all__ = [
     "bounds_check",
     "coscheduling",
     "ablations",
+    "faults",
     "tuned_knobs",
     "TUNED_KNOBS",
     "PAPER_SETUPS",

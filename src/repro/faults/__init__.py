@@ -1,0 +1,30 @@
+"""Deterministic fault injection for simulated training runs.
+
+Declare *what* goes wrong with a :class:`FaultPlan` (link degradation
+and blackout windows, straggler workers, probabilistic message loss and
+delay), then let :func:`apply_fault_plan` wire it into a built
+:class:`~repro.training.job.TrainingJob`.  Everything runs on the
+deterministic sim kernel from a seeded RNG: the same plan replays the
+same faulted trajectory, byte for byte.
+"""
+
+from repro.faults.inject import apply_fault_plan, make_straggler_scale
+from repro.faults.plan import (
+    FaultPlan,
+    LinkFault,
+    StragglerFault,
+    TransportFault,
+    degraded_finish,
+    merge_windows,
+)
+
+__all__ = [
+    "FaultPlan",
+    "LinkFault",
+    "StragglerFault",
+    "TransportFault",
+    "apply_fault_plan",
+    "make_straggler_scale",
+    "degraded_finish",
+    "merge_windows",
+]

@@ -1,0 +1,120 @@
+"""Applying a :class:`~repro.faults.plan.FaultPlan` to a built job.
+
+The injector is the only piece that knows where each fault kind lands:
+
+* link faults become degradation windows on the fabric's FIFO links
+  (PS) or on the collective pipe (all-reduce);
+* straggler faults become a ``compute_scale`` hook on the affected
+  worker's engine;
+* transport faults wrap the remote links' transport in a
+  :class:`~repro.net.transport.FaultyTransport` drawing from the plan's
+  seeded RNG.
+
+Injection happens once, after the substrate is built and before any
+iteration is constructed, so a faulted run replays identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.net.fabric import Fabric
+from repro.net.transport import FaultyTransport
+from repro.faults.plan import FaultPlan, merge_windows
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.training.job import TrainingJob
+
+__all__ = ["apply_fault_plan", "make_straggler_scale"]
+
+
+def make_straggler_scale(windows: Tuple[Tuple[float, float, float], ...]):
+    """Build an engine ``compute_scale`` hook from straggler windows.
+
+    An op whose start falls inside a ``(start, end, slowdown)`` window
+    runs ``slowdown`` times longer.  Ops are attributed to the window
+    containing their start — a deliberate simplification that keeps the
+    hook O(windows) and the run deterministic.
+    """
+
+    def scale(now: float, duration: float) -> float:
+        for start, end, slowdown in windows:
+            if start <= now < end:
+                return duration * slowdown
+        return duration
+
+    return scale
+
+
+def apply_fault_plan(job: "TrainingJob", plan: FaultPlan) -> None:
+    """Impose ``plan`` on a freshly built :class:`TrainingJob`."""
+    if plan.empty:
+        return
+    rng = random.Random(plan.seed)
+
+    # Stragglers: per-worker compute slowdown windows on the engine.
+    known_workers = set(job.workers)
+    for fault in plan.stragglers:
+        if fault.worker not in known_workers:
+            raise ConfigError(
+                f"fault plan names unknown worker {fault.worker!r}; "
+                f"workers are {sorted(known_workers)}"
+            )
+    for worker in job.workers:
+        windows = plan.straggler_windows(worker)
+        if windows:
+            job.engines[worker].compute_scale = make_straggler_scale(windows)
+
+    if job.fabric is not None:
+        _apply_to_fabric(job.fabric, plan, rng)
+    else:
+        _apply_to_collective(job.backend, plan, rng)
+
+
+def _apply_to_fabric(fabric: Fabric, plan: FaultPlan, rng: random.Random) -> None:
+    """PS path: fault the fabric's links and transports directly."""
+    for fault in plan.link_faults:
+        if fault.node not in fabric.nics:
+            raise ConfigError(
+                f"fault plan names unknown node {fault.node!r}; "
+                f"nodes are {fabric.nodes}"
+            )
+    for node in fabric.nodes:
+        nic = fabric.nic(node)
+        up = plan.link_windows(node, "up")
+        if up:
+            nic.uplink.set_fault_windows(up)
+        down = plan.link_windows(node, "down")
+        if down:
+            nic.downlink.set_fault_windows(down)
+        loop = plan.link_windows(node, "loop")
+        if loop:
+            fabric.loopback(node).set_fault_windows(loop)
+    if plan.transport.active:
+        faulty = FaultyTransport(fabric.transport, plan.transport, rng)
+        fabric.transport = faulty
+        for nic in fabric.nics.values():
+            nic.uplink.transport = faulty
+            nic.downlink.transport = faulty
+
+
+def _apply_to_collective(backend, plan: FaultPlan, rng: random.Random) -> None:
+    """All-reduce path: degrade the single collective pipe.
+
+    The ring runs at the speed of its slowest hop, so *any* worker
+    node's link fault degrades the whole ring for its window.
+    """
+    windows = []
+    for fault in plan.link_faults:
+        if fault.node not in backend.workers:
+            raise ConfigError(
+                f"fault plan names unknown node {fault.node!r}; "
+                f"all-reduce nodes are {list(backend.workers)}"
+            )
+        windows.append((fault.start, fault.end, fault.rate_factor))
+    if windows:
+        backend.set_fault_windows(merge_windows(windows))
+    if plan.transport.active and plan.transport.loss_probability > 0:
+        backend.set_loss(plan.transport.loss_probability, rng)

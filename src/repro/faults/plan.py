@@ -1,0 +1,350 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a seeded, fully declarative schedule of faults
+to impose on one simulated training run:
+
+* :class:`LinkFault` — a window during which one direction of one
+  node's NIC (or its loopback) runs at a fraction of line rate
+  (``rate_factor`` 0 is a blackout: the link stalls until the window
+  closes);
+* :class:`StragglerFault` — a window during which one worker's compute
+  ops run ``slowdown`` times slower;
+* :class:`TransportFault` — probabilistic per-message loss (modelled as
+  retransmissions at the transport layer) and extra delivery delay,
+  drawn from the plan's seeded RNG.
+
+Everything is simulated-time and seeded — no wall clock, no global
+randomness — so a faulted run is exactly as deterministic as a healthy
+one.  The same plan applied twice yields byte-identical traces; two
+plans differing only in ``seed`` diverge.
+
+Plans can be built programmatically or parsed from the compact CLI
+grammar accepted by ``--fault-plan``::
+
+    straggler:w0@0.0-0.5x3;slowlink:w1.up@0.1-0.3x0.25;loss:0.02;seed:7
+
+Clauses are semicolon-separated:
+
+* ``straggler:<worker>@<start>-<end>x<slowdown>``
+* ``slowlink:<node>.<up|down|loop>@<start>-<end>x<factor>``
+* ``blackout:<node>.<up|down|loop>@<start>-<end>``
+* ``loss:<probability>`` (optionally ``loss:<p>@<penalty_seconds>``)
+* ``delay:<probability>@<seconds>``
+* ``seed:<int>``
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "LinkFault",
+    "StragglerFault",
+    "TransportFault",
+    "FaultPlan",
+    "degraded_finish",
+    "merge_windows",
+]
+
+_DIRECTIONS = ("up", "down", "loop", "both")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One degradation window on one direction of one node's links."""
+
+    node: str
+    direction: str  # 'up', 'down', 'loop', or 'both'
+    start: float
+    end: float
+    rate_factor: float  # 1.0 = healthy, 0.0 = blackout
+
+    def __post_init__(self) -> None:
+        if self.direction not in _DIRECTIONS:
+            raise ConfigError(
+                f"link fault direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        if not 0.0 <= self.rate_factor <= 1.0:
+            raise ConfigError(
+                f"rate_factor must be in [0, 1], got {self.rate_factor!r}"
+            )
+        if not 0.0 <= self.start < self.end:
+            raise ConfigError(
+                f"invalid fault window [{self.start!r}, {self.end!r})"
+            )
+        if self.rate_factor == 0.0 and math.isinf(self.end):
+            raise ConfigError("a blackout window must have a finite end")
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """One slowdown window on one worker's compute."""
+
+    worker: str
+    start: float
+    end: float
+    slowdown: float  # compute durations are multiplied by this
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ConfigError(
+                f"straggler slowdown must be >= 1, got {self.slowdown!r}"
+            )
+        if not 0.0 <= self.start < self.end:
+            raise ConfigError(
+                f"invalid straggler window [{self.start!r}, {self.end!r})"
+            )
+
+
+@dataclass(frozen=True)
+class TransportFault:
+    """Probabilistic per-message loss and delay at the transport layer.
+
+    A "lost" message is retransmitted by the stack below the scheduler:
+    each lost copy costs one extra serialisation of the message plus
+    ``retransmit_penalty`` seconds (the retransmission timeout).  Losses
+    are independent per copy and capped at ``max_losses`` consecutive
+    drops so a wire time is always finite.
+    """
+
+    loss_probability: float = 0.0
+    retransmit_penalty: float = 500e-6
+    delay_probability: float = 0.0
+    delay: float = 0.0
+    max_losses: int = 5
+
+    def __post_init__(self) -> None:
+        for name in ("loss_probability", "delay_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1), got {value!r}")
+        if self.retransmit_penalty < 0 or self.delay < 0:
+            raise ConfigError("fault penalties must be >= 0")
+        if self.max_losses < 1:
+            raise ConfigError("max_losses must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        """True if this fault can actually perturb a message."""
+        return self.loss_probability > 0 or self.delay_probability > 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded fault schedule for one run."""
+
+    link_faults: Tuple[LinkFault, ...] = ()
+    stragglers: Tuple[StragglerFault, ...] = ()
+    transport: TransportFault = field(default_factory=TransportFault)
+    seed: int = 0
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan imposes no faults at all."""
+        return (
+            not self.link_faults
+            and not self.stragglers
+            and not self.transport.active
+        )
+
+    def link_windows(self, node: str, direction: str) -> Tuple[Tuple[float, float, float], ...]:
+        """Merged ``(start, end, factor)`` windows for one link."""
+        windows = [
+            (fault.start, fault.end, fault.rate_factor)
+            for fault in self.link_faults
+            if fault.node == node and fault.direction in (direction, "both")
+        ]
+        return merge_windows(windows)
+
+    def straggler_windows(self, worker: str) -> Tuple[Tuple[float, float, float], ...]:
+        """``(start, end, slowdown)`` windows for one worker's compute."""
+        return tuple(
+            sorted(
+                (fault.start, fault.end, fault.slowdown)
+                for fault in self.stragglers
+                if fault.worker == worker
+            )
+        )
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same schedule drawn from a different RNG stream."""
+        return replace(self, seed=seed)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (CLI output)."""
+        parts: List[str] = []
+        for fault in self.stragglers:
+            parts.append(
+                f"straggler {fault.worker} x{fault.slowdown:g} "
+                f"[{fault.start:g}, {fault.end:g})"
+            )
+        for fault in self.link_faults:
+            kind = "blackout" if fault.rate_factor == 0 else f"x{fault.rate_factor:g}"
+            parts.append(
+                f"link {fault.node}.{fault.direction} {kind} "
+                f"[{fault.start:g}, {fault.end:g})"
+            )
+        if self.transport.loss_probability:
+            parts.append(f"loss p={self.transport.loss_probability:g}")
+        if self.transport.delay_probability:
+            parts.append(
+                f"delay p={self.transport.delay_probability:g} "
+                f"+{self.transport.delay:g}s"
+            )
+        if not parts:
+            return "healthy (no faults)"
+        return "; ".join(parts) + f" (seed {self.seed})"
+
+    # -- CLI grammar -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the compact ``--fault-plan`` grammar (see module doc)."""
+        link_faults: List[LinkFault] = []
+        stragglers: List[StragglerFault] = []
+        transport = TransportFault()
+        seed = 0
+        for raw in spec.split(";"):
+            clause = raw.strip()
+            if not clause:
+                continue
+            if ":" not in clause:
+                raise ConfigError(f"malformed fault clause {clause!r}")
+            kind, _, body = clause.partition(":")
+            kind = kind.strip().lower()
+            body = body.strip()
+            if kind == "seed":
+                seed = int(body)
+            elif kind == "straggler":
+                target, window = _split_at(body, clause)
+                (start, end), slowdown = _parse_window(window, clause, factor=True)
+                stragglers.append(StragglerFault(target, start, end, slowdown))
+            elif kind in ("slowlink", "blackout"):
+                target, window = _split_at(body, clause)
+                node, _, direction = target.rpartition(".")
+                if not node:
+                    raise ConfigError(
+                        f"{clause!r}: link target must be <node>.<up|down|loop>"
+                    )
+                if kind == "blackout":
+                    start, end = _parse_window(window, clause, factor=False)
+                    link_faults.append(LinkFault(node, direction, start, end, 0.0))
+                else:
+                    (start, end), factor = _parse_window(window, clause, factor=True)
+                    link_faults.append(LinkFault(node, direction, start, end, factor))
+            elif kind == "loss":
+                prob, _, penalty = body.partition("@")
+                transport = replace(
+                    transport,
+                    loss_probability=float(prob),
+                    retransmit_penalty=(
+                        float(penalty) if penalty else transport.retransmit_penalty
+                    ),
+                )
+            elif kind == "delay":
+                prob, _, seconds = body.partition("@")
+                if not seconds:
+                    raise ConfigError(
+                        f"{clause!r}: delay needs a duration, e.g. delay:0.1@0.002"
+                    )
+                transport = replace(
+                    transport,
+                    delay_probability=float(prob),
+                    delay=float(seconds),
+                )
+            else:
+                raise ConfigError(f"unknown fault kind {kind!r} in {clause!r}")
+        return cls(
+            link_faults=tuple(link_faults),
+            stragglers=tuple(stragglers),
+            transport=transport,
+            seed=seed,
+        )
+
+
+def _split_at(body: str, clause: str) -> Tuple[str, str]:
+    target, sep, window = body.partition("@")
+    if not sep or not target:
+        raise ConfigError(f"{clause!r}: expected <target>@<start>-<end>...")
+    return target, window
+
+
+def _parse_window(window: str, clause: str, factor: bool):
+    """``<start>-<end>[x<factor>]`` → ((start, end)[, factor])."""
+    if factor:
+        span, sep, value = window.partition("x")
+        if not sep:
+            raise ConfigError(f"{clause!r}: expected ...x<factor>")
+    else:
+        span, value = window, None
+    start_text, sep, end_text = span.partition("-")
+    if not sep:
+        raise ConfigError(f"{clause!r}: expected <start>-<end>")
+    start = float(start_text)
+    end = math.inf if end_text.strip() in ("inf", "") else float(end_text)
+    if factor:
+        return (start, end), float(value)
+    return (start, end)
+
+
+# -- degraded-rate arithmetic ---------------------------------------------
+
+
+def merge_windows(
+    windows: Sequence[Tuple[float, float, float]],
+) -> Tuple[Tuple[float, float, float], ...]:
+    """Sort windows and check they do not overlap.
+
+    Overlapping degradation windows on the same link would make the
+    effective rate ambiguous; the plan rejects them up front.
+    """
+    ordered = tuple(sorted(windows))
+    for (_s0, e0, _f0), (s1, _e1, _f1) in zip(ordered, ordered[1:]):
+        if s1 < e0:
+            raise ConfigError(
+                f"overlapping fault windows on the same link: "
+                f"{e0!r} > {s1!r}"
+            )
+    return ordered
+
+
+def degraded_finish(
+    start: float,
+    work: float,
+    windows: Sequence[Tuple[float, float, float]],
+) -> float:
+    """When ``work`` seconds of full-rate service finish, starting at
+    ``start``, given ``(win_start, win_end, rate_factor)`` windows.
+
+    Outside every window the link runs at full rate; inside, at
+    ``rate_factor`` of it (0 = total stall).  Windows must be sorted and
+    disjoint (use :func:`merge_windows`).
+    """
+    clock = start
+    remaining = work
+    for win_start, win_end, rate in windows:
+        if win_end <= clock:
+            continue
+        if remaining <= 0:
+            break
+        if win_start > clock:
+            healthy = win_start - clock
+            if remaining <= healthy:
+                return clock + remaining
+            remaining -= healthy
+            clock = win_start
+        span = win_end - clock
+        if rate <= 0.0:
+            clock = win_end  # blackout: time passes, no progress
+        else:
+            capacity = span * rate
+            if remaining <= capacity:
+                return clock + remaining / rate
+            remaining -= capacity
+            clock = win_end
+    return clock + remaining

@@ -114,6 +114,9 @@ class Engine:
         #: When True, every posted op is retained (timeline analysis).
         self.record_ops = False
         self.ops: List[EngineOp] = []
+        #: Fault-plan hook: maps (now, duration) -> effective duration
+        #: for COMPUTE ops (straggler injection).  None = healthy.
+        self.compute_scale: Optional[Callable[[float, float], float]] = None
 
     def post(self, op: EngineOp) -> EngineOp:
         """Accept ``op`` for execution; returns it with ``done`` set."""
@@ -136,8 +139,11 @@ class Engine:
     def _run_op_body(self, op: EngineOp):
         """Generator executing an op's action (after deps, off-GPU part)."""
         if op.kind is OpKind.COMPUTE:
-            if op.duration > 0:
-                yield self.env.timeout(op.duration)
+            duration = op.duration
+            if self.compute_scale is not None:
+                duration = self.compute_scale(self.env.now, duration)
+            if duration > 0:
+                yield self.env.timeout(duration)
         elif op.kind is OpKind.COMM:
             completion = op.launch()
             if not op.async_launch and completion is not None:

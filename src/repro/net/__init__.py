@@ -10,6 +10,7 @@ from repro.net.link import Link
 from repro.net.message import Message
 from repro.net.nic import DuplexNIC
 from repro.net.transport import (
+    FaultyTransport,
     LocalTransport,
     RDMATransport,
     TCPTransport,
@@ -25,4 +26,5 @@ __all__ = [
     "TCPTransport",
     "RDMATransport",
     "LocalTransport",
+    "FaultyTransport",
 ]

@@ -94,6 +94,10 @@ class Fabric:
         """The NIC of ``node``; raises ``KeyError`` for unknown nodes."""
         return self.nics[node]
 
+    def loopback(self, node: str) -> Link:
+        """The intra-node loopback link of ``node``."""
+        return self._loopbacks[node]
+
     def transfer(self, message: Message) -> TransferHandle:
         """Move ``message`` from its src to its dst.
 

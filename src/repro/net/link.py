@@ -14,13 +14,15 @@ figure-10/11/12 sweeps.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.sim import Environment, Event, Trace
 from repro.net.message import Message
 from repro.net.transport import Transport
 
 __all__ = ["Link"]
+
+_NO_WINDOWS: Tuple[Tuple[float, float, float], ...] = ()
 
 
 class Link:
@@ -42,6 +44,9 @@ class Link:
         self.transport = transport
         self.trace = trace
         self._busy_until = env.now
+        #: Degradation windows imposed by a fault plan: sorted, disjoint
+        #: (start, end, rate_factor) triples; empty = healthy.
+        self._fault_windows: Tuple[Tuple[float, float, float], ...] = _NO_WINDOWS
         #: Totals for utilisation accounting.
         self.bytes_sent = 0.0
         self.messages_sent = 0
@@ -57,24 +62,45 @@ class Link:
         """Seconds a message enqueued *now* would wait before starting."""
         return max(0.0, self._busy_until - self.env.now)
 
+    def set_fault_windows(
+        self, windows: Sequence[Tuple[float, float, float]]
+    ) -> None:
+        """Impose degradation windows from a fault plan.
+
+        ``windows`` are ``(start, end, rate_factor)`` triples, sorted
+        and disjoint (see :func:`repro.faults.plan.merge_windows`);
+        factor 0 stalls the link for the window.  Passing an empty
+        sequence restores the healthy link.
+        """
+        self._fault_windows = tuple(windows)
+
+    def _service_end(self, start: float, service: float) -> float:
+        """When ``service`` seconds of full-rate work finish, given the
+        degradation windows."""
+        if not self._fault_windows:
+            return start + service
+        from repro.faults.plan import degraded_finish
+
+        return degraded_finish(start, service, self._fault_windows)
+
     def transmit(self, message: Message) -> Event:
         """Enqueue ``message``; the returned event fires when its last
         byte has left this link."""
         message.enqueued_at = self.env.now
         start = max(self.env.now, self._busy_until)
         service = self.transport.wire_time(message.size, self.bandwidth)
-        end = start + service
+        end = self._service_end(start, service)
         self._busy_until = end
         self.bytes_sent += message.size
         self.messages_sent += 1
-        self.busy_time += service
+        self.busy_time += end - start
         if self.trace is not None:
             self.trace.span(
                 "link",
                 self.name,
                 start,
                 end,
-                message=message.uid,
+                message=self.trace.intern(message.uid),
                 size=message.size,
                 kind=message.kind,
             )
@@ -92,19 +118,21 @@ class Link:
         """
         message.enqueued_at = self.env.now
         service = self.transport.wire_time(message.size, self.bandwidth)
-        end = max(available_at, self._busy_until + service)
-        start = end - service
+        # The service slot opens when the link frees, or just early
+        # enough to end at the upstream arrival — whichever is later.
+        start = max(self._busy_until, available_at - service)
+        end = max(available_at, self._service_end(start, service))
         self._busy_until = end
         self.bytes_sent += message.size
         self.messages_sent += 1
-        self.busy_time += service
+        self.busy_time += end - start
         if self.trace is not None:
             self.trace.span(
                 "link",
                 self.name,
                 start,
                 end,
-                message=message.uid,
+                message=self.trace.intern(message.uid),
                 size=message.size,
                 kind=message.kind,
             )

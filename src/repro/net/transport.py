@@ -13,11 +13,22 @@ A :class:`Transport` turns (size, link bandwidth) into a wire time.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.units import US
 
-__all__ = ["Transport", "TCPTransport", "RDMATransport", "LocalTransport"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import TransportFault
+
+__all__ = [
+    "Transport",
+    "TCPTransport",
+    "RDMATransport",
+    "LocalTransport",
+    "FaultyTransport",
+]
 
 
 @dataclass(frozen=True)
@@ -54,6 +65,55 @@ class Transport:
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be > 0, got {bandwidth!r}")
         return size / (bandwidth * self.efficiency) + self.overhead
+
+
+class FaultyTransport(Transport):
+    """A transport whose messages are probabilistically lost or delayed.
+
+    Loss is modelled the way a reliable stack experiences it: a lost
+    copy costs one extra serialisation plus the retransmission timeout,
+    repeated for each consecutive loss (capped at ``fault.max_losses``).
+    Delay adds a fixed extra latency to the affected message.  Draws
+    come from the injected seeded RNG, so the perturbation sequence is a
+    pure function of (seed, message order) — fully deterministic.
+    """
+
+    def __init__(
+        self, inner: Transport, fault: "TransportFault", rng: random.Random
+    ) -> None:
+        super().__init__(
+            name=f"faulty-{inner.name}",
+            overhead=inner.overhead,
+            efficiency=inner.efficiency,
+        )
+        # The dataclass base is frozen; side-channel attributes go
+        # through object.__setattr__ like the generated __init__ does.
+        object.__setattr__(self, "inner", inner)
+        object.__setattr__(self, "fault", fault)
+        object.__setattr__(self, "rng", rng)
+        object.__setattr__(self, "messages_lost", 0)
+        object.__setattr__(self, "messages_delayed", 0)
+
+    def wire_time(self, size: float, bandwidth: float) -> float:
+        base = self.inner.wire_time(size, bandwidth)
+        extra = 0.0
+        losses = 0
+        while (
+            losses < self.fault.max_losses
+            and self.fault.loss_probability > 0
+            and self.rng.random() < self.fault.loss_probability
+        ):
+            losses += 1
+            extra += base + self.fault.retransmit_penalty
+        if losses:
+            object.__setattr__(self, "messages_lost", self.messages_lost + losses)
+        if (
+            self.fault.delay_probability > 0
+            and self.rng.random() < self.fault.delay_probability
+        ):
+            object.__setattr__(self, "messages_delayed", self.messages_delayed + 1)
+            extra += self.fault.delay
+        return base + extra
 
 
 def TCPTransport(overhead: float = 150 * US, efficiency: float = 0.70) -> Transport:

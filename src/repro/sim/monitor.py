@@ -52,6 +52,20 @@ class Trace:
         self.enabled = enabled
         self.spans: List[Span] = []
         self.points: List[Tuple[float, str, str]] = []
+        self._intern_ids: Dict[Any, int] = {}
+
+    def intern(self, key: Any) -> int:
+        """Stable per-trace small integer for ``key`` (insertion order).
+
+        Links label spans with this instead of the process-global
+        ``Message.uid``: the global counter differs between two identical
+        runs in one process, the interned id does not — which is what
+        makes traces byte-identical across same-seed repeats.
+        """
+        ids = self._intern_ids
+        if key not in ids:
+            ids[key] = len(ids)
+        return ids[key]
 
     def begin(self, category: str, name: str, **meta: Any) -> Optional[_OpenSpan]:
         """Open a span now; pair with :meth:`end`."""
@@ -88,6 +102,22 @@ class Trace:
     def by_category(self, category: str) -> Iterator[Span]:
         """All spans recorded under ``category``."""
         return (span for span in self.spans if span.category == category)
+
+    def count(self, category: str) -> int:
+        """Spans plus point events recorded under ``category``.
+
+        The retry machinery records each declared-lost transfer as a
+        ``timeout`` span and each retransmission as a ``retry`` point;
+        experiments report both with this helper.
+        """
+        spans = sum(1 for span in self.spans if span.category == category)
+        points = sum(1 for _t, cat, _n in self.points if cat == category)
+        return spans + points
+
+    def total_duration(self, category: str) -> float:
+        """Summed duration of all spans under ``category`` (overlap is
+        counted multiply; use :func:`utilization` for coverage)."""
+        return sum(span.duration for span in self.by_category(category))
 
 
 def utilization(spans: List[Span], start: float, end: float) -> float:

@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 from repro.comm import (
     CommBackend,
     PSBackend,
+    RetryPolicy,
     RingAllReduceBackend,
     make_sharding,
 )
@@ -98,6 +99,12 @@ class ClusterSpec:
     #: 0 keeps the simulation fully deterministic.
     compute_jitter: float = 0.0
     seed: int = 0
+    #: Per-transfer timeout in seconds; None disables retry entirely.
+    #: With a timeout set, transfers that miss it are retransmitted with
+    #: exponential backoff (see :class:`repro.comm.RetryPolicy`).
+    retry_timeout: Optional[float] = None
+    retry_backoff: float = 2.0
+    max_retries: int = 3
 
     def __post_init__(self) -> None:
         if self.machines < 1:
@@ -116,6 +123,14 @@ class ClusterSpec:
             raise ConfigError(f"unknown framework {self.framework!r}")
         if self.compute_jitter < 0:
             raise ConfigError("compute_jitter must be >= 0")
+        if self.retry_timeout is not None and self.retry_timeout <= 0:
+            raise ConfigError(
+                f"retry_timeout must be > 0, got {self.retry_timeout}"
+            )
+        if self.retry_backoff < 1.0:
+            raise ConfigError(f"retry_backoff must be >= 1, got {self.retry_backoff}")
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.framework == "pytorch" and self.arch == "ps":
             # §5: "We implement PyTorch plugin for only all-reduce
             # architecture because PyTorch does not support PS."
@@ -136,6 +151,17 @@ class ClusterSpec:
     def bandwidth(self) -> float:
         """Per-NIC line rate in bytes/second."""
         return gbps(self.bandwidth_gbps)
+
+    @property
+    def retry_policy(self) -> Optional[RetryPolicy]:
+        """The transfer retry policy, or None when retry is disabled."""
+        if self.retry_timeout is None:
+            return None
+        return RetryPolicy(
+            timeout=self.retry_timeout,
+            max_retries=self.max_retries,
+            backoff=self.retry_backoff,
+        )
 
     @property
     def label(self) -> str:
@@ -180,6 +206,7 @@ class ClusterSpec:
                 base_sync=base_sync,
                 per_rank_sync=per_rank,
                 trace=trace,
+                retry=self.retry_policy,
             )
             return BuiltCluster(backend=backend, workers=backend.workers)
 
@@ -214,6 +241,7 @@ class ClusterSpec:
             layer_bytes=layer_bytes,
             synchronous=self.synchronous,
             ack_delay=ack_delay,
+            retry=self.retry_policy,
         )
         return BuiltCluster(backend=backend, workers=workers, fabric=fabric)
 

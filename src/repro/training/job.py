@@ -48,10 +48,12 @@ class TrainingJob:
         enable_trace: bool = False,
         env: Optional[Environment] = None,
         shared_fabric=None,
+        fault_plan=None,
     ) -> None:
         self.model = model
         self.cluster = cluster
         self.scheduler = scheduler
+        self.fault_plan = fault_plan
         #: Jobs sharing an environment (and fabric) co-schedule on the
         #: same simulated cluster — the §7 multi-tenant scenario.
         self.env = env or Environment()
@@ -86,6 +88,10 @@ class TrainingJob:
         self._markers: Dict[str, List[float]] = {worker: [] for worker in self.workers}
         self._built_iterations = 0
         self._jitter_rng = random.Random(cluster.seed)
+        if fault_plan is not None:
+            from repro.faults import apply_fault_plan
+
+            apply_fault_plan(self, fault_plan)
 
     # -- assembly ---------------------------------------------------------
 

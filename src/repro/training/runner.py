@@ -26,11 +26,18 @@ def run_experiment(
     measure: int = 10,
     warmup: int = 2,
     enable_trace: bool = False,
+    fault_plan=None,
 ) -> TrainingResult:
-    """Run one simulated training configuration and return its speed."""
+    """Run one simulated training configuration and return its speed.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) imposes link
+    degradation, stragglers, and message loss on the run.
+    """
     spec = resolve_model(model)
     scheduler = scheduler or SchedulerSpec()
-    job = TrainingJob(spec, cluster, scheduler, enable_trace=enable_trace)
+    job = TrainingJob(
+        spec, cluster, scheduler, enable_trace=enable_trace, fault_plan=fault_plan
+    )
     return job.run(measure=measure, warmup=warmup)
 
 

@@ -281,3 +281,54 @@ def test_enqueue_foreign_task_rejected():
     task = CommTask(core_a, 0, 0, 100.0)
     with pytest.raises(SchedulerError):
         core_b.enqueue(task)
+
+
+def test_partition_override_larger_than_credit_does_not_hang():
+    """A per-layer partition unit bigger than the whole credit window
+    must start via the liveness escape, not wait forever."""
+    env = Environment()
+    core, backend = make_core(
+        env, credit_bytes=50.0, partition_overrides={3: 200.0}
+    )
+    task = core.create_task(0, 3, 200.0)
+    task.notify_ready()
+    env.run()
+    assert len(backend.started) == 1  # escaped, uncharged
+    assert core.credit == pytest.approx(50.0)
+    backend.complete()
+    env.run()
+    assert task.is_finished
+
+
+def test_float_drift_head_at_capacity_does_not_deadlock():
+    """Regression: mixed partition sizes drift the credit a few ULPs
+    below capacity (1.3 - 0.3 - 0.15 + 0.3 + 0.15 != 1.3).  A head
+    sized exactly at capacity then fails ``credit >= size`` while the
+    old escape (``size > capacity``) also fails — the core sat on a
+    non-empty queue with nothing in flight, forever."""
+    env = Environment()
+    core, backend = make_core(
+        env,
+        credit_bytes=1.3,
+        partition_overrides={0: 0.3, 1: 0.15},
+    )
+    # Charge 0.3 and 0.15 concurrently, then return them in order.
+    mixed_a = core.create_task(0, 0, 0.3)
+    mixed_b = core.create_task(0, 1, 0.15)
+    mixed_a.notify_ready()
+    mixed_b.notify_ready()
+    env.run()
+    assert len(backend.started) == 2
+    backend.complete(0)
+    backend.complete(0)
+    env.run()
+    # The snap guard must leave the ledger exact, not 1.2999999999....
+    assert core.credit == 1.3
+    whole = core.create_task(1, 2, 1.3)
+    whole.notify_ready()
+    env.run()
+    assert len(backend.started) == 3  # would be 2 (deadlock) before the fix
+    backend.complete()
+    env.run()
+    assert whole.is_finished
+    assert core.credit == 1.3

@@ -153,3 +153,124 @@ def test_determinism_of_schedule(tasks, partition):
         return backend.starts
 
     assert run() == run()
+
+
+# -- fault-plan invariants --------------------------------------------------
+
+
+def _build_windows(parts):
+    """(gap, duration, rate) triples → sorted disjoint fault windows."""
+    windows, clock = [], 0.0
+    for gap, duration, rate in parts:
+        start = clock + gap
+        end = start + duration
+        windows.append((start, end, rate))
+        clock = end
+    return tuple(windows)
+
+
+window_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.04),    # gap before the window
+        st.floats(min_value=0.001, max_value=0.05),  # window duration
+        st.floats(min_value=0.0, max_value=1.0),     # rate factor (0=blackout)
+    ),
+    max_size=4,
+).map(_build_windows)
+
+
+class FaultedAuditingBackend(AuditingBackend):
+    """AuditingBackend whose service rate degrades inside fault windows
+    and which audits the credit ledger at every scheduling event."""
+
+    def __init__(self, env, credit_capacity, windows, service=0.01):
+        super().__init__(env, credit_capacity, service)
+        self.windows = windows
+        self.core = None
+        self.ledger_violations = []
+
+    def audit(self):
+        core = self.core
+        if core is None:
+            return
+        if not -1e-9 <= core.credit <= core.credit_capacity + 1e-9:
+            self.ledger_violations.append((self.env.now, core.credit))
+
+    def start_chunk(self, chunk):
+        from repro.faults import degraded_finish
+
+        self.audit()
+        self.inflight_bytes += chunk.size
+        self.max_inflight_bytes = max(self.max_inflight_bytes, self.inflight_bytes)
+        self.max_single = max(self.max_single, chunk.size)
+        self.starts.append((self.env.now, chunk.layer, chunk.chunk_index, chunk.size))
+        end = degraded_finish(self.env.now, self.service, self.windows)
+        completion = self.env.timeout(end - self.env.now, value=chunk)
+        completion.callbacks.append(self._release(chunk))
+        completion.callbacks.append(lambda _evt: self.audit())
+        return ChunkHandle(sent=completion, done=completion)
+
+
+@given(
+    tasks=task_strategy,
+    partition=st.floats(min_value=50.0, max_value=2_000.0),
+    credit=st.floats(min_value=100.0, max_value=5_000.0),
+    windows=window_strategy,
+)
+@settings(max_examples=60, deadline=None)
+def test_fault_windows_preserve_ledger_and_liveness(tasks, partition, credit, windows):
+    """Under any disjoint set of degradation/blackout windows: the credit
+    ledger never goes negative, never exceeds capacity, and every
+    SubCommTask still finishes."""
+    env = Environment()
+    backend = FaultedAuditingBackend(env, credit_capacity=credit, windows=windows)
+    core = ByteSchedulerCore(
+        env, backend, partition_bytes=partition, credit_bytes=credit
+    )
+    backend.core = core
+
+    created = []
+    for index, (layer, size, delay) in enumerate(tasks):
+        task = core.create_task(index, layer, size)
+        created.append(task)
+        env.timeout(delay).callbacks.append(
+            lambda _evt, t=task: t.notify_ready()
+        )
+    env.run()
+
+    assert backend.ledger_violations == []
+    assert all(task.is_finished for task in created)
+    assert all(
+        sub.state is TaskState.FINISHED for task in created for sub in task.subtasks
+    )
+    # With everything drained the full window must be back, exactly.
+    assert core.inflight == 0
+    assert core.credit == credit
+    # Faults slow transfers but never admit extra in-flight bytes.
+    assert backend.max_inflight_bytes <= credit + backend.max_single + 1e-6
+
+
+@given(
+    tasks=task_strategy,
+    windows=window_strategy,
+)
+@settings(max_examples=30, deadline=None)
+def test_faulted_schedule_is_deterministic(tasks, windows):
+    """The same fault windows applied twice yield identical start traces."""
+
+    def run():
+        env = Environment()
+        backend = FaultedAuditingBackend(env, credit_capacity=1_500.0, windows=windows)
+        core = ByteSchedulerCore(
+            env, backend, partition_bytes=300.0, credit_bytes=1_500.0
+        )
+        backend.core = core
+        for index, (layer, size, delay) in enumerate(tasks):
+            task = core.create_task(index, layer, size)
+            env.timeout(delay).callbacks.append(
+                lambda _evt, t=task: t.notify_ready()
+            )
+        env.run()
+        return backend.starts
+
+    assert run() == run()

@@ -107,3 +107,45 @@ def test_simulation_is_deterministic(delays, seed_order):
         return log
 
     assert run() == run()
+
+
+# -- faulted-run determinism regression -------------------------------------
+
+
+def _faulted_trace(seed):
+    """One traced faulted run; returns (spans, points, speed)."""
+    from repro.faults import FaultPlan
+    from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+    from repro.training.runner import resolve_model
+
+    plan = FaultPlan.parse(
+        "straggler:w0@0.0-infx1.4;slowlink:w1.up@0.0-0.02x0.5;loss:0.05"
+    ).with_seed(seed)
+    cluster = ClusterSpec(
+        machines=2, gpus_per_machine=1, retry_timeout=0.02
+    )
+    spec = SchedulerSpec(kind="bytescheduler", partition_bytes=8e6, credit_bytes=32e6)
+    job = TrainingJob(
+        resolve_model("resnet50"), cluster, spec,
+        enable_trace=True, fault_plan=plan,
+    )
+    result = job.run(measure=2, warmup=1)
+    return job.trace.spans, job.trace.points, result.speed
+
+
+def test_faulted_run_is_deterministic_for_equal_seeds():
+    """The same fault plan + seed twice → byte-identical trace."""
+    spans_a, points_a, speed_a = _faulted_trace(seed=7)
+    spans_b, points_b, speed_b = _faulted_trace(seed=7)
+    assert speed_a == speed_b
+    assert points_a == points_b
+    assert spans_a == spans_b
+    # Byte-identical, not merely approximately equal.
+    assert repr(spans_a) == repr(spans_b)
+
+
+def test_faulted_runs_diverge_across_seeds():
+    """Different seeds draw different loss patterns → different traces."""
+    spans_a, _points_a, speed_a = _faulted_trace(seed=7)
+    spans_b, _points_b, speed_b = _faulted_trace(seed=8)
+    assert (spans_a, speed_a) != (spans_b, speed_b)

@@ -88,3 +88,58 @@ def test_version_flag():
     with pytest.raises(SystemExit) as excinfo:
         build_parser().parse_args(["--version"])
     assert excinfo.value.code == 0
+
+
+def test_run_with_fault_plan_prints_plan_and_robustness(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--model", "resnet50", "--machines", "2",
+        "--gpus-per-machine", "1", "--measure", "2",
+        "--fault-plan", "straggler:w0@0.0-infx1.5;loss:0.05;seed:3",
+        "--retry-timeout-ms", "20",
+    )
+    assert code == 0
+    assert "fault plan: straggler w0 x1.5" in out
+    assert "loss p=0.05" in out
+    assert "transfer timeouts" in out and "retries" in out
+
+
+def test_run_faulted_compare_faults_both_schedulers(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--model", "resnet50", "--machines", "2",
+        "--gpus-per-machine", "1", "--measure", "2",
+        "--partition-mb", "8", "--credit-mb", "32",
+        "--fault-plan", "slowlink:w0.up@0.0-infx0.5", "--compare",
+    )
+    assert code == 0
+    assert "speedup over baseline" in out
+
+
+def test_run_rejects_malformed_fault_plan(capsys):
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        main([
+            "run", "--model", "resnet50", "--machines", "2",
+            "--gpus-per-machine", "1", "--measure", "2",
+            "--fault-plan", "warp:w0@0-1x2",
+        ])
+
+
+def test_run_fault_plan_is_deterministic(capsys):
+    argv = [
+        "run", "--model", "resnet50", "--machines", "2",
+        "--gpus-per-machine", "1", "--measure", "2",
+        "--fault-plan", "loss:0.05;seed:7", "--retry-timeout-ms", "20",
+    ]
+    _code, out_a = run_cli(capsys, *argv)
+    _code, out_b = run_cli(capsys, *argv)
+    assert out_a == out_b
+
+
+def test_reproduce_faults_fast(capsys):
+    code, out = run_cli(capsys, "reproduce", "faults", "--fast")
+    assert code == 0
+    assert "Goodput under faults" in out
+    assert "blackout" in out and "straggler" in out
