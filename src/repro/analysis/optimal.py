@@ -25,7 +25,7 @@ steady state exists because the system is deterministic and monotone.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.errors import ConfigError
 from repro.models import ModelSpec

@@ -21,7 +21,6 @@ from typing import List, Tuple
 
 from repro.errors import ConfigError
 from repro.frameworks.engine import OpKind
-from repro.sim.monitor import Span
 
 __all__ = ["IterationBreakdown", "analyze_worker", "format_breakdown", "ascii_gantt"]
 

@@ -1,11 +1,15 @@
 """Command-line interface.
 
-Three entry points, runnable as ``python -m repro ...``:
+Five entry points, runnable as ``python -m repro ...``:
 
 * ``run``       — simulate one training configuration (optionally
-                  against the vanilla baseline).
+                  against the vanilla baseline); ``--trace-out`` /
+                  ``--metrics-out`` / ``--report-out`` export the run's
+                  Chrome trace, per-iteration metrics, and JSON report.
 * ``tune``      — auto-tune (partition, credit) for a configuration.
-* ``reproduce`` — regenerate one of the paper's tables or figures.
+* ``reproduce`` — regenerate one of the paper's tables or figures
+                  (``--json-out`` for the machine-readable report).
+* ``trace``     — summarize an exported trace-event JSON file.
 * ``models``    — list the model zoo.
 """
 
@@ -51,6 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="timeout multiplier per retry attempt")
     run.add_argument("--max-retries", type=int, default=3,
                      help="retransmissions per transfer before giving up")
+    run.add_argument("--trace-out", default=None, metavar="PATH",
+                     help="write a Chrome/Perfetto trace-event JSON "
+                          "(open in chrome://tracing or ui.perfetto.dev)")
+    run.add_argument("--span-log", default=None, metavar="PATH",
+                     help="write the flat JSONL span log")
+    run.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write per-iteration metrics + instrument dump JSON")
+    run.add_argument("--report-out", default=None, metavar="PATH",
+                     help="write the machine-readable run report JSON")
 
     tune = commands.add_parser("tune", help="auto-tune partition and credit sizes")
     _add_cluster_args(tune)
@@ -75,6 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="smaller scales / fewer iterations")
     reproduce.add_argument("--out", default=None,
                            help="for 'all': also write the report to a file")
+    reproduce.add_argument("--json-out", default=None, metavar="PATH",
+                           help="for 'all': write the machine-readable "
+                                "section index as JSON")
+
+    trace = commands.add_parser(
+        "trace", help="summarize an exported trace-event JSON file"
+    )
+    trace.add_argument("path", help="file written by `repro run --trace-out`")
+    trace.add_argument("--top", type=int, default=5,
+                       help="how many longest events to list")
 
     commands.add_parser("models", help="list the model zoo")
     return parser
@@ -132,12 +155,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         fault_plan = FaultPlan.parse(args.fault_plan)
         print(f"fault plan: {fault_plan.describe()}")
+
+    wants_trace = bool(args.timeline or args.trace_out or args.span_log)
+    metrics = None
+    if args.metrics_out or args.report_out:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     job = TrainingJob(
         resolve_model(args.model),
         cluster,
         spec,
-        enable_trace=args.timeline,
+        enable_trace=wants_trace,
         fault_plan=fault_plan,
+        metrics=metrics,
     )
     result = job.run(measure=args.measure)
     print(result.summary())
@@ -145,6 +176,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         timeouts = getattr(job.backend, "timeouts", 0)
         retries = getattr(job.backend, "retries", 0)
         print(f"robustness: {timeouts} transfer timeouts, {retries} retries")
+    if args.trace_out:
+        from repro.obs import job_chrome_trace, write_chrome_trace
+
+        write_chrome_trace(job_chrome_trace(job), args.trace_out)
+        print(f"trace written to {args.trace_out} (chrome://tracing)")
+    if args.span_log:
+        from repro.obs import write_span_log
+
+        write_span_log(job.trace, args.span_log)
+        print(f"span log written to {args.span_log}")
+    if args.metrics_out:
+        metrics.write(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
+    if args.report_out:
+        from repro.obs import build_run_report
+
+        build_run_report(job, result).write(args.report_out)
+        print(f"run report written to {args.report_out}")
     if args.timeline:
         from repro.analysis import analyze_worker, ascii_gantt, format_breakdown
 
@@ -232,7 +281,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
         from repro.experiments.report import generate_report
 
-        text = generate_report(fast=fast, stream=_sys.stderr)
+        text = generate_report(
+            fast=fast, stream=_sys.stderr, json_out=getattr(args, "json_out", None)
+        )
         print(text)
         if getattr(args, "out", None):
             with open(args.out, "w") as handle:
@@ -250,6 +301,18 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         print(exp.extensions.format_per_layer(exp.extensions.per_layer_partitions(machines=machines)))
         print(exp.extensions.format_online(exp.extensions.online_tuning_trajectory(machines=machines)))
         print(exp.extensions.format_async(exp.extensions.async_vs_sync(machines=machines)))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import load_trace_file, summarize_trace
+
+    try:
+        events = load_trace_file(args.path)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace {args.path!r}: {error}", file=sys.stderr)
+        return 1
+    print(summarize_trace(events, top=args.top))
     return 0
 
 
@@ -274,6 +337,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "tune": _cmd_tune,
         "reproduce": _cmd_reproduce,
+        "trace": _cmd_trace,
         "models": _cmd_models,
     }
     return handlers[args.command](args)

@@ -73,6 +73,17 @@ class RingAllReduceBackend(CommBackend):
         #: Robustness counters (read by the faults experiment).
         self.timeouts = 0
         self.retries = 0
+        #: Optional metrics instruments (see :meth:`attach_metrics`).
+        self._obs = None
+
+    def attach_metrics(self, registry) -> None:
+        """Wire per-collective latency and retry/timeout counters into a
+        :class:`~repro.obs.MetricsRegistry`."""
+        self._obs = {
+            "latency": registry.histogram("allreduce.collective_latency"),
+            "timeouts": registry.counter("allreduce.timeouts"),
+            "retries": registry.counter("allreduce.retries"),
+        }
 
     @property
     def workers(self) -> Tuple[str, ...]:
@@ -167,6 +178,10 @@ class RingAllReduceBackend(CommBackend):
                 wasted = min(wasted, self.retry.attempt_timeout(attempt))
                 self.retries += 1
             self.timeouts += 1
+            if self._obs is not None:
+                self._obs["timeouts"].inc()
+                if self.retry is not None:
+                    self._obs["retries"].inc()
             failed_end = self._finish_time(cursor, wasted)
             if self.trace is not None:
                 self.trace.span(
@@ -185,6 +200,9 @@ class RingAllReduceBackend(CommBackend):
         self._busy_until = end
         self.collectives_run += 1
         self.bytes_reduced += chunk.size
+        if self._obs is not None:
+            # Queue wait plus execution: hand-off to completed reduce.
+            self._obs["latency"].observe(end - self.env.now)
         if self.trace is not None:
             self.trace.span(
                 "allreduce",

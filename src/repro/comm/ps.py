@@ -49,6 +49,15 @@ class _ChunkState:
     updated: bool = False
 
 
+@dataclass
+class _BackendInstruments:
+    """Registry-backed instruments (held only when metrics are on)."""
+
+    latency: object
+    timeouts: object
+    retries: object
+
+
 class PSBackend(CommBackend):
     """Sharded parameter-server gradient synchronisation."""
 
@@ -81,6 +90,8 @@ class PSBackend(CommBackend):
         #: Robustness counters (read by the faults experiment).
         self.timeouts = 0
         self.retries = 0
+        #: Optional metrics instruments (see :meth:`attach_metrics`).
+        self._obs: Optional[_BackendInstruments] = None
         self.sharding = sharding or ChunkRoundRobin()
         if layer_bytes is not None:
             self.sharding.prepare(layer_bytes, len(self.servers))
@@ -104,6 +115,15 @@ class PSBackend(CommBackend):
     def prepare(self, layer_bytes: Tuple[int, ...]) -> None:
         """Late-bind the model layout for the sharding strategy."""
         self.sharding.prepare(layer_bytes, len(self.servers))
+
+    def attach_metrics(self, registry) -> None:
+        """Wire per-transfer latency and retry/timeout counters into a
+        :class:`~repro.obs.MetricsRegistry`."""
+        self._obs = _BackendInstruments(
+            latency=registry.histogram("ps.transfer_latency"),
+            timeouts=registry.counter("ps.timeouts"),
+            retries=registry.counter("ps.retries"),
+        )
 
     def server_for(self, chunk: ChunkSpec) -> str:
         """The server hosting ``chunk``."""
@@ -154,11 +174,16 @@ class PSBackend(CommBackend):
         fire on the *first* copy to reach each milestone.
         """
         if self.retry is None:
-            return self.fabric.transfer(message)
+            handle = self.fabric.transfer(message)
+            if self._obs is not None:
+                self._observe_latency(handle.delivered)
+            return handle
         policy = self.retry
         trace = self.fabric.trace
         sent = self.env.event()
         delivered = self.env.event()
+        if self._obs is not None:
+            self._observe_latency(delivered)
 
         def first(event: Event) -> None:
             if not event.triggered:
@@ -188,6 +213,8 @@ class PSBackend(CommBackend):
             if delivered.triggered:
                 return
             self.timeouts += 1
+            if self._obs is not None:
+                self._obs.timeouts.inc()
             if trace is not None:
                 trace.span(
                     "timeout",
@@ -199,12 +226,21 @@ class PSBackend(CommBackend):
                 )
             if number < policy.max_retries:
                 self.retries += 1
+                if self._obs is not None:
+                    self._obs.retries.inc()
                 if trace is not None:
                     trace.point("retry", f"{message.kind}:{message.src}->{message.dst}")
                 attempt(number + 1)
 
         attempt(0)
         return TransferHandle(sent=sent, delivered=delivered)
+
+    def _observe_latency(self, delivered: Event) -> None:
+        """Record hand-off → first-delivery latency in the histogram."""
+        started = self.env.now
+        delivered.callbacks.append(
+            lambda _evt: self._obs.latency.observe(self.env.now - started)
+        )
 
     def _on_push_delivered(self, chunk: ChunkSpec, server: str) -> None:
         state = self._pending[chunk.key]
@@ -228,8 +264,6 @@ class PSBackend(CommBackend):
         pullers: List[str],
         run_update: bool = True,
     ) -> None:
-        state = self._pending[chunk.key]
-
         def _send_pulls(_evt: Event = None) -> None:
             for worker in pullers:
                 pull = Message(server, worker, chunk.size, kind="pull", payload=chunk)

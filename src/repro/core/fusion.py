@@ -19,7 +19,7 @@ backends.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List
 
 from repro.errors import SchedulerError
 from repro.sim import Environment

@@ -35,14 +35,26 @@ from __future__ import annotations
 
 import heapq
 import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SchedulerError
-from repro.sim import Environment, Event
+from repro.sim import Environment
 from repro.comm.base import CommBackend
 from repro.core.commtask import CommTask, SubCommTask
 
 __all__ = ["ByteSchedulerCore", "PRIORITY_LAYER", "PRIORITY_FIFO"]
+
+
+@dataclass
+class _CoreInstruments:
+    """Registry-backed instruments for one Core (held only when metrics
+    are enabled; the disabled path checks a single attribute)."""
+
+    credit_used: "object"
+    queue_depth: "object"
+    preemptions: "object"
+    escapes: "object"
 
 #: Priority modes: by layer index (the paper's scheduler) or by arrival
 #: order (vanilla framework behaviour).
@@ -99,12 +111,36 @@ class ByteSchedulerCore:
         self.subtasks_started = 0
         self.tasks_enqueued = 0
         self.preemption_opportunities = 0
+        #: Liveness-escape starts (queue head launched uncharged).
+        self.escape_starts = 0
+        #: Optional metrics instruments (see :meth:`attach_metrics`).
+        self._obs: Optional[_CoreInstruments] = None
 
     # -- the paper's Core interface ---------------------------------------
 
     def init(self) -> None:
         """Trivial init (kept for interface parity with the paper)."""
         self._shutdown = False
+
+    def attach_metrics(self, registry) -> None:
+        """Wire scheduler-internal signals into a
+        :class:`~repro.obs.MetricsRegistry`: credit occupancy and queue
+        depth as time-weighted values, preemption opportunities and
+        escape starts as counters.  Idempotent per registry name."""
+        prefix = f"core.{self.name}"
+        self._obs = _CoreInstruments(
+            credit_used=registry.time_weighted(f"{prefix}.credit_used"),
+            queue_depth=registry.time_weighted(f"{prefix}.queue_depth"),
+            preemptions=registry.counter(f"{prefix}.preemption_opportunities"),
+            escapes=registry.counter(f"{prefix}.escape_starts"),
+        )
+
+    def _credit_used(self) -> float:
+        """Bytes of credit currently lent out (0 for an infinite window,
+        where occupancy is not a meaningful fraction)."""
+        if math.isinf(self.credit_capacity):
+            return 0.0
+        return self.credit_capacity - self.credit
 
     def shutdown(self) -> None:
         """Stop scheduling; queued subtasks are abandoned."""
@@ -170,6 +206,8 @@ class ByteSchedulerCore:
             lent = self.credit_capacity - self.credit
             self.credit_capacity = float(credit_bytes)
             self.credit = self.credit_capacity - lent
+            if self._obs is not None:
+                self._obs.credit_used.set(self._credit_used())
             self._kick()
 
     # -- event-driven Algorithm 1 -----------------------------------------
@@ -188,6 +226,10 @@ class ByteSchedulerCore:
             # flight is where preemption (at partition granularity)
             # can pay off; count them for the experiments.
             self.preemption_opportunities += 1
+            if self._obs is not None:
+                self._obs.preemptions.inc()
+        if self._obs is not None:
+            self._obs.queue_depth.set(len(self._queue))
         self._kick()
 
     def _kick(self) -> None:
@@ -224,6 +266,13 @@ class ByteSchedulerCore:
             heapq.heappop(self._queue)
             if fits:
                 self.credit -= subtask.size
+            else:
+                self.escape_starts += 1
+            if self._obs is not None:
+                self._obs.queue_depth.set(len(self._queue))
+                self._obs.credit_used.set(self._credit_used())
+                if not fits:
+                    self._obs.escapes.inc()
             self._start(subtask, charged=fits)
 
     def _start(self, subtask: SubCommTask, charged: bool) -> None:
@@ -257,6 +306,8 @@ class ByteSchedulerCore:
             # All lent credit is back; snap away any float drift from
             # mixed partition sizes so `credit == capacity` stays exact.
             self.credit = self.credit_capacity
+        if self._obs is not None:
+            self._obs.credit_used.set(self._credit_used())
         self._kick()
 
     def _finish(self, subtask: SubCommTask) -> None:

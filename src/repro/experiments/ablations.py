@@ -11,7 +11,7 @@ Each ablation isolates one mechanism by holding everything else fixed:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.experiments.common import format_table, setup_cluster
 from repro.experiments.knobs import tuned_knobs

@@ -3,16 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.knobs import tuned_knobs
 from repro.units import MB
-from repro.training import (
-    ClusterSpec,
-    SchedulerSpec,
-    linear_scaling_speed,
-    run_experiment,
-)
+from repro.training import ClusterSpec, SchedulerSpec, run_experiment
 
 __all__ = [
     "Series",

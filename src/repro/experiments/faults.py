@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments.common import format_table, setup_cluster
 from repro.experiments.knobs import tuned_knobs
 from repro.faults import FaultPlan
-from repro.training import ClusterSpec, SchedulerSpec, run_experiment
+from repro.training import ClusterSpec, SchedulerSpec
 
 __all__ = ["FaultScenario", "FaultsResult", "SCENARIOS", "run", "format_result"]
 

@@ -9,7 +9,7 @@ plus P3 on the MXNet-PS-TCP subplot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (
     PAPER_SETUPS,

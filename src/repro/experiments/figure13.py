@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.experiments.common import format_table, setup_cluster
 from repro.training import SchedulerSpec, run_experiment

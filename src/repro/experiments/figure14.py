@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 import statistics
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.experiments.common import format_table, setup_cluster
 from repro.tuning import SearchSpace, make_searcher, simulated_objective

@@ -17,7 +17,7 @@ iteration is constructed, so a faulted run replays identically.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Tuple
 
 from repro.errors import ConfigError
 from repro.net.fabric import Fabric

@@ -8,7 +8,7 @@ regimes the zoo does not cover.
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.errors import ConfigError
 from repro.models.base import Layer, ModelSpec

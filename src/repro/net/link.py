@@ -121,11 +121,16 @@ class Link:
         # The service slot opens when the link frees, or just early
         # enough to end at the upstream arrival — whichever is later.
         start = max(self._busy_until, available_at - service)
-        end = max(available_at, self._service_end(start, service))
+        serialise_end = self._service_end(start, service)
+        end = max(available_at, serialise_end)
         self._busy_until = end
         self.bytes_sent += message.size
         self.messages_sent += 1
-        self.busy_time += end - start
+        # Busy time is the serialisation interval only: when ``end`` is
+        # pinned by ``available_at`` (a backlogged link waiting on slow
+        # upstream bytes), the tail [serialise_end, end] is idle wait,
+        # not transmission — counting it overstated utilisation.
+        self.busy_time += serialise_end - start
         if self.trace is not None:
             self.trace.span(
                 "link",
@@ -143,6 +148,15 @@ class Link:
         self.bytes_sent = 0.0
         self.messages_sent = 0
         self.busy_time = 0.0
+
+    def snapshot(self) -> dict:
+        """Point-in-time counters for per-iteration metric sampling."""
+        return {
+            "bytes_sent": self.bytes_sent,
+            "messages_sent": self.messages_sent,
+            "busy_time": self.busy_time,
+            "queue_delay": self.queue_delay,
+        }
 
     def __repr__(self) -> str:
         return f"<Link {self.name} {self.bandwidth:.3g}B/s {self.transport.name}>"

@@ -42,5 +42,9 @@ class DuplexNIC:
         self.uplink.reset_counters()
         self.downlink.reset_counters()
 
+    def snapshot(self) -> dict:
+        """Per-direction counters for per-iteration metric sampling."""
+        return {"up": self.uplink.snapshot(), "down": self.downlink.snapshot()}
+
     def __repr__(self) -> str:
         return f"<DuplexNIC {self.node} {self.bandwidth:.3g}B/s>"

@@ -1,0 +1,53 @@
+"""Observability: metrics registry, trace export, machine-readable reports.
+
+The paper's claims are all *measurements* — timelines (Figure 2),
+profiled samples/sec (§4.3), utilisation (§6) — so the reproduction
+carries a first-class observability layer:
+
+* :mod:`repro.obs.metrics` — counters, gauges, histograms, and
+  time-weighted values behind a :class:`MetricsRegistry`, wired into
+  the scheduler core, both comm backends, and the links;
+* :mod:`repro.obs.export` — Chrome/Perfetto trace-event JSON and flat
+  JSONL span logs from any recorded :class:`~repro.sim.Trace`;
+* :mod:`repro.obs.report` — :class:`RunReport`, the JSON run summary
+  emitted by ``run_experiment`` and the CLI.
+
+Everything here is strictly off the hot path unless enabled: components
+hold ``None`` instead of instruments, so a disabled run pays one
+attribute check per record site.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    job_chrome_trace,
+    load_trace_file,
+    span_log_lines,
+    summarize_trace,
+    write_chrome_trace,
+    write_span_log,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeWeighted,
+)
+from repro.obs.report import RunReport, build_run_report
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TimeWeighted",
+    "RunReport",
+    "build_run_report",
+    "chrome_trace",
+    "job_chrome_trace",
+    "load_trace_file",
+    "span_log_lines",
+    "summarize_trace",
+    "write_chrome_trace",
+    "write_span_log",
+]

@@ -1,0 +1,136 @@
+"""Machine-readable run reports.
+
+A :class:`RunReport` is the JSON companion to
+:meth:`TrainingResult.summary`: everything a run measured — speed,
+iteration statistics, scheduler counters, robustness counters, link
+totals, and the per-iteration metric samples — in one dataclass that
+serialises to a stable dict.  ``run_experiment`` attaches one to its
+result when asked, the CLI writes it with ``--report-out``, and the
+experiment harness aggregates them instead of parsing printed tables.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["RunReport", "build_run_report"]
+
+#: Bump when the report layout changes incompatibly.
+REPORT_SCHEMA = 1
+
+
+@dataclass
+class RunReport:
+    """One training run, summarised for machines."""
+
+    label: str
+    model: str
+    cluster: str
+    scheduler: str
+    speed: float
+    sample_unit: str
+    iteration_time: float
+    iteration_time_stdev: float
+    samples_per_iteration: float
+    warmup: int
+    measured: int
+    #: Scheduler-core counters summed across distinct cores.
+    scheduler_stats: Dict[str, float] = field(default_factory=dict)
+    #: Backend robustness counters (transfer timeouts / retries).
+    robustness: Dict[str, int] = field(default_factory=dict)
+    #: Per-link byte/busy totals (PS fabric only).
+    links: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Per-iteration samples from the metrics registry, when enabled.
+    iterations: List[Dict[str, float]] = field(default_factory=list)
+    #: Instrument dump from the metrics registry, when enabled.
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    schema: int = REPORT_SCHEMA
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def summary(self) -> str:
+        """One-line human-readable digest (mirrors TrainingResult)."""
+        return (
+            f"{self.label}: {self.speed:,.0f} {self.sample_unit}/s "
+            f"({self.iteration_time * 1e3:.2f} ms/iter, "
+            f"{self.robustness.get('timeouts', 0)} timeouts, "
+            f"{self.robustness.get('retries', 0)} retries)"
+        )
+
+
+def build_run_report(job, result) -> RunReport:
+    """Assemble a :class:`RunReport` from a completed job and its result.
+
+    Reads only counters that exist unconditionally (core stats, backend
+    robustness, link totals); the metrics/iterations sections fill in
+    when the job carries a :class:`~repro.obs.MetricsRegistry`.
+    """
+    seen = set()
+    core_stats: Dict[str, float] = {
+        "bytes_started": 0.0,
+        "subtasks_started": 0,
+        "tasks_enqueued": 0,
+        "preemption_opportunities": 0,
+        "escape_starts": 0,
+    }
+    for core in job.cores.values():
+        if id(core) in seen:
+            continue
+        seen.add(id(core))
+        for key in core_stats:
+            core_stats[key] += getattr(core, key, 0)
+
+    links: Dict[str, Dict[str, float]] = {}
+    if job.fabric is not None:
+        elapsed = job.env.now
+        for nic in job.fabric.nics.values():
+            for link in (nic.uplink, nic.downlink):
+                links[link.name] = {
+                    "bytes_sent": link.bytes_sent,
+                    "messages_sent": link.messages_sent,
+                    "busy_time": link.busy_time,
+                    "busy_fraction": (
+                        link.busy_time / elapsed if elapsed > 0 else 0.0
+                    ),
+                }
+
+    registry = getattr(job, "metrics", None)
+    metrics_dump: Dict[str, Any] = {}
+    iteration_samples: List[Dict[str, float]] = []
+    if registry is not None:
+        dump = registry.to_dict()
+        metrics_dump = dump["instruments"]
+        iteration_samples = dump["iterations"]
+
+    return RunReport(
+        label=result.label,
+        model=job.model.name,
+        cluster=job.cluster.label,
+        scheduler=job.scheduler.kind,
+        speed=result.speed,
+        sample_unit=result.sample_unit,
+        iteration_time=result.iteration_time,
+        iteration_time_stdev=result.iteration_time_stdev,
+        samples_per_iteration=result.samples_per_iteration,
+        warmup=result.warmup,
+        measured=result.measured,
+        scheduler_stats=core_stats,
+        robustness={
+            "timeouts": int(getattr(job.backend, "timeouts", 0)),
+            "retries": int(getattr(job.backend, "retries", 0)),
+        },
+        links=links,
+        iterations=iteration_samples,
+        metrics=metrics_dump,
+    )

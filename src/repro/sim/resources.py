@@ -19,7 +19,7 @@ supports the context-manager protocol so the canonical pattern is::
 from __future__ import annotations
 
 import heapq
-from typing import Any, List, Optional
+from typing import Any, List
 
 from repro.errors import SimulationError
 from repro.sim.core import Environment, Event

@@ -10,7 +10,7 @@ baseline FIFO, P3, or ByteScheduler with explicit knobs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 from repro.comm import (

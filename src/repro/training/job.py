@@ -31,7 +31,7 @@ from repro.core import (
     ReadyCountdown,
     make_adapter,
 )
-from repro.training.cluster import BuiltCluster, ClusterSpec, SchedulerSpec
+from repro.training.cluster import ClusterSpec, SchedulerSpec
 from repro.training.metrics import TrainingResult
 
 __all__ = ["TrainingJob"]
@@ -49,11 +49,15 @@ class TrainingJob:
         env: Optional[Environment] = None,
         shared_fabric=None,
         fault_plan=None,
+        metrics=None,
     ) -> None:
         self.model = model
         self.cluster = cluster
         self.scheduler = scheduler
         self.fault_plan = fault_plan
+        #: Optional :class:`repro.obs.MetricsRegistry`; None keeps every
+        #: instrumented hot path at a single attribute check.
+        self.metrics = metrics
         #: Jobs sharing an environment (and fabric) co-schedule on the
         #: same simulated cluster — the §7 multi-tenant scenario.
         self.env = env or Environment()
@@ -92,6 +96,43 @@ class TrainingJob:
             from repro.faults import apply_fault_plan
 
             apply_fault_plan(self, fault_plan)
+        if metrics is not None:
+            self._attach_metrics(metrics)
+
+    def _unique_cores(self) -> List[ByteSchedulerCore]:
+        """The distinct Core instances (PS has one per worker; the
+        all-reduce master is shared)."""
+        seen: Dict[int, ByteSchedulerCore] = {}
+        for core in self.cores.values():
+            seen.setdefault(id(core), core)
+        return list(seen.values())
+
+    def _attach_metrics(self, metrics) -> None:
+        """Bind the registry's clock and wire instruments into the
+        cores, the backend, and the per-iteration sampler state."""
+        metrics.bind_clock(lambda: self.env.now)
+        for core in self._unique_cores():
+            if hasattr(core, "attach_metrics"):
+                core.attach_metrics(metrics)
+        if hasattr(self.backend, "attach_metrics"):
+            self.backend.attach_metrics(metrics)
+        #: Window state for per-iteration deltas/means.
+        self._obs_prev = {
+            "time": self.env.now,
+            "timeouts": 0,
+            "retries": 0,
+            "preemptions": 0,
+            "escapes": 0,
+            "link_busy": {},
+            "core_marks": {
+                id(core): {
+                    "credit": core._obs.credit_used.mark(),
+                    "queue": core._obs.queue_depth.mark(),
+                }
+                for core in self._unique_cores()
+                if getattr(core, "_obs", None) is not None
+            },
+        }
 
     # -- assembly ---------------------------------------------------------
 
@@ -161,7 +202,6 @@ class TrainingJob:
 
     def _build_iteration(self, iteration: int) -> None:
         model = self.model
-        num_layers = model.num_layers
 
         # Communication tasks: one per layer — shared across workers for
         # collectives, per worker for PS.
@@ -190,6 +230,10 @@ class TrainingJob:
                     )
                     tasks[(layer.index, worker)] = task
                     countdowns[(layer.index, worker)] = ReadyCountdown(task, 1)
+
+        # Per-iteration metric sampling fires once ALL workers complete
+        # the iteration (stragglers finish last; see TrainingResult).
+        pending = {"count": len(self.workers)} if self.metrics is not None else None
 
         for worker in self.workers:
             engine = self.engines[worker]
@@ -244,6 +288,91 @@ class TrainingJob:
             first_bp.done.callbacks.append(
                 lambda _evt, w=worker: self._markers[w].append(self.env.now)
             )
+            if pending is not None:
+                first_bp.done.callbacks.append(
+                    lambda _evt, it=iteration, p=pending: self._worker_done(it, p)
+                )
+
+    def _worker_done(self, iteration: int, pending: Dict[str, int]) -> None:
+        pending["count"] -= 1
+        if pending["count"] == 0:
+            self._sample_iteration(iteration)
+
+    def _sample_iteration(self, iteration: int) -> None:
+        """Append one per-iteration metrics row: credit occupancy, queue
+        depth, preemption/escape activity, retry counts, link busy
+        fractions — the signals §4.3's tuner and §6's utilisation
+        figures are built from."""
+        prev = self._obs_prev
+        now = self.env.now
+        elapsed = now - prev["time"]
+        sample: Dict[str, float] = {
+            "iteration": iteration,
+            "end_time": now,
+            "duration": elapsed,
+        }
+
+        occupancies: List[float] = []
+        depths: List[float] = []
+        preemptions = 0
+        escapes = 0
+        queued_now = 0
+        inflight_now = 0
+        for core in self._unique_cores():
+            preemptions += core.preemption_opportunities
+            escapes += core.escape_starts
+            queued_now += core.queued
+            inflight_now += core.inflight
+            obs = getattr(core, "_obs", None)
+            if obs is None:
+                continue
+            marks = prev["core_marks"][id(core)]
+            used = obs.credit_used.mean_since(marks["credit"])
+            capacity = core.credit_capacity
+            if capacity > 0 and not math.isinf(capacity):
+                occupancies.append(used / capacity)
+            depths.append(obs.queue_depth.mean_since(marks["queue"]))
+            marks["credit"] = obs.credit_used.mark()
+            marks["queue"] = obs.queue_depth.mark()
+        if occupancies:
+            sample["credit_occupancy"] = sum(occupancies) / len(occupancies)
+        if depths:
+            sample["queue_depth"] = sum(depths) / len(depths)
+        sample["queued_now"] = queued_now
+        sample["inflight_now"] = inflight_now
+        sample["preemption_opportunities"] = preemptions - prev["preemptions"]
+        sample["escape_starts"] = escapes - prev["escapes"]
+        prev["preemptions"] = preemptions
+        prev["escapes"] = escapes
+
+        timeouts = int(getattr(self.backend, "timeouts", 0))
+        retries = int(getattr(self.backend, "retries", 0))
+        sample["timeouts"] = timeouts - prev["timeouts"]
+        sample["retries"] = retries - prev["retries"]
+        sample["timeouts_total"] = timeouts
+        sample["retries_total"] = retries
+        prev["timeouts"] = timeouts
+        prev["retries"] = retries
+
+        if self.fabric is not None and elapsed > 0:
+            fractions: List[float] = []
+            delays: List[float] = []
+            link_busy = prev["link_busy"]
+            for nic in self.fabric.nics.values():
+                for link in (nic.uplink, nic.downlink):
+                    busy = link.busy_time
+                    fractions.append(
+                        (busy - link_busy.get(link.name, 0.0)) / elapsed
+                    )
+                    link_busy[link.name] = busy
+                    delays.append(link.queue_delay)
+            if fractions:
+                sample["link_busy_mean"] = sum(fractions) / len(fractions)
+                sample["link_busy_max"] = max(fractions)
+                sample["link_queue_delay_max"] = max(delays)
+
+        prev["time"] = now
+        self.metrics.record_iteration(sample)
 
     # -- execution ----------------------------------------------------------
 

@@ -5,13 +5,18 @@ a warm-up (§6.1).  The simulation is deterministic, so a short window
 reaches steady state; the marker for "one iteration elapsed" is the
 completion of the first layer's backward op (the last compute op of an
 iteration), whose steady-state spacing equals the iteration period.
+
+An iteration is only *done* when every worker has finished it — under a
+straggler fault plan (or compute jitter) workers are not symmetric, so
+the reference timeline is the element-wise latest completion across
+workers, not any single worker's markers.
 """
 
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
 
 from repro.errors import ConfigError
 
@@ -29,6 +34,9 @@ class TrainingResult:
     samples_per_iteration: float
     sample_unit: str
     label: str = ""
+    #: Optional machine-readable :class:`repro.obs.RunReport`, attached
+    #: by :func:`repro.training.runner.run_experiment` when requested.
+    report: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.measured < 1:
@@ -41,9 +49,18 @@ class TrainingResult:
                 )
 
     def _reference_markers(self) -> List[float]:
-        """Markers of the first worker (workers are symmetric)."""
-        first = next(iter(self.markers))
-        return self.markers[first]
+        """Element-wise latest completion across workers.
+
+        Iteration ``i`` completes when the *slowest* worker finishes it;
+        measuring any single worker under-counts straggler stalls and
+        over-reports speed (the pre-fix behaviour measured only the
+        first worker).  For symmetric workers this reduces to any one
+        worker's markers unchanged.
+        """
+        per_worker = list(self.markers.values())
+        if len(per_worker) == 1:
+            return list(per_worker[0])
+        return [max(times) for times in zip(*per_worker)]
 
     def iteration_times(self) -> List[float]:
         """Per-iteration durations inside the measurement window."""

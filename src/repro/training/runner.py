@@ -27,18 +27,36 @@ def run_experiment(
     warmup: int = 2,
     enable_trace: bool = False,
     fault_plan=None,
+    metrics=None,
+    report: bool = False,
 ) -> TrainingResult:
     """Run one simulated training configuration and return its speed.
 
     ``fault_plan`` (a :class:`repro.faults.FaultPlan`) imposes link
     degradation, stragglers, and message loss on the run.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) wires
+    scheduler/backend/link instruments into the run and samples them
+    each iteration.  With ``report=True`` (implied by ``metrics``), the
+    returned result carries a machine-readable
+    :class:`~repro.obs.RunReport` in ``result.report``.
     """
     spec = resolve_model(model)
     scheduler = scheduler or SchedulerSpec()
     job = TrainingJob(
-        spec, cluster, scheduler, enable_trace=enable_trace, fault_plan=fault_plan
+        spec,
+        cluster,
+        scheduler,
+        enable_trace=enable_trace,
+        fault_plan=fault_plan,
+        metrics=metrics,
     )
-    return job.run(measure=measure, warmup=warmup)
+    result = job.run(measure=measure, warmup=warmup)
+    if report or metrics is not None:
+        from repro.obs.report import build_run_report
+
+        result.report = build_run_report(job, result)
+    return result
 
 
 def linear_scaling_speed(

@@ -90,7 +90,14 @@ class AutoTuner:
             raise TuningError("max_trials must be >= 1")
         restart_overhead = 0.0
         for _ in range(max_trials):
-            point = self.searcher.suggest()
+            # Clip once, up front: the restart-penalty comparison, the
+            # recorded trial, and the profiled configuration must all be
+            # the same point.  Comparing *unclipped* suggestions charged
+            # a spurious PS restart when two suggestions clipped to the
+            # same boundary partition, and recorded trials/best_point
+            # outside the search box while profile() ran the clipped
+            # ones.
+            point = self.space.clip(self.searcher.suggest())
             if (
                 self.restart_penalty > 0
                 and self._last_partition is not None

@@ -85,7 +85,15 @@ class GaussianProcess:
         return self._x is not None
 
     def predict(self, x_star: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Posterior mean and standard deviation at ``x_star``."""
+        """Posterior *predictive* mean and standard deviation at ``x_star``.
+
+        The predictive variance includes the observation noise
+        (``k** - vᵀv + σ_n²``): a new measurement at an already-sampled
+        point still jitters by σ_n, so std must not collapse to ~0
+        there — omitting it made Expected Improvement over-exploit
+        near-duplicate points late in a BO run (§4.3's noise-resilience
+        argument cuts exactly this way).
+        """
         if not self.fitted:
             raise TuningError("predict() before fit()")
         x_star = np.asarray(x_star, dtype=float)
@@ -95,7 +103,8 @@ class GaussianProcess:
         mean = k_star @ self._alpha
         v = np.linalg.solve(self._chol, k_star.T)
         variance = np.maximum(
-            self.signal_variance - np.sum(v**2, axis=0), 1e-12
+            self.signal_variance - np.sum(v**2, axis=0) + self.noise_variance,
+            1e-12,
         )
         return (
             mean * self._y_std + self._y_mean,

@@ -5,7 +5,6 @@ at any knob setting — must take at least as long per iteration as the
 fluid preemptive-priority optimum computed analytically.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.comm import RingAllReduceBackend
 from repro.core import (

@@ -8,7 +8,7 @@ from repro.errors import ConfigError, SchedulerError
 from repro.net import Transport
 from repro.sim import Environment
 from repro.training import ClusterSpec, SchedulerSpec, run_experiment
-from repro.models import custom_model, uniform_model
+from repro.models import uniform_model
 from repro.units import MB
 
 
@@ -58,7 +58,8 @@ def test_fusion_amortises_sync_cost():
     env_fused = Environment()
     backend_fused = make_backend(env_fused, base_sync=0.005)
     core = FusionCore(env_fused, backend_fused, fusion_bytes=64 * MB, cycle_time=0.001)
-    tasks = [ready_task(core, 0, layer, 1 * MB) for layer in range(10)]
+    for layer in range(10):
+        ready_task(core, 0, layer, 1 * MB)
     env_fused.run()
     fused_time = env_fused.now
 

@@ -1,6 +1,5 @@
 """Unit tests for the framework adapters (Dependency Proxy wiring)."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit tests for Algorithm 1 (priority queue + credit-based preemption)."""
 
-import math
 
 import pytest
 

@@ -5,7 +5,6 @@ qualitative result the paper reports — who wins and in what direction —
 rather than absolute numbers.
 """
 
-import pytest
 
 from repro.experiments import (
     PAPER_SETUPS,
@@ -20,7 +19,6 @@ from repro.experiments import (
     table1,
     tuned_knobs,
 )
-from repro.units import MB
 
 
 def test_paper_setups_are_the_five_from_section_6():

@@ -27,3 +27,28 @@ def test_generate_report_filtered_section():
 def test_generate_report_table1_section():
     text = generate_report(fast=True, sections=["Table 1"])
     assert "Table 1: best partition/credit sizes" in text
+
+
+def test_generate_report_writes_json_index(tmp_path):
+    import json
+
+    path = tmp_path / "report.json"
+    generate_report(fast=True, sections=["Figure 2"], json_out=str(path))
+    data = json.loads(path.read_text())
+    assert data["generator"] == "repro.experiments.report"
+    assert data["fast"] is True
+    assert len(data["sections"]) == 1
+    section = data["sections"][0]
+    assert section["title"].startswith("Figure 2")
+    assert section["status"] == "ok"
+    assert "44.4%" in section["body"]
+    assert data["total_seconds"] >= 0.0
+
+
+def test_generate_json_report_matches_markdown_sections():
+    from repro.experiments.report import generate_json_report
+
+    data = generate_json_report(fast=True, sections=["Figure 2"])
+    assert [s["title"] for s in data["sections"]] == [
+        "Figure 2 — contrived example"
+    ]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.faults import FaultPlan, apply_fault_plan, make_straggler_scale
+from repro.faults import FaultPlan, make_straggler_scale
 from repro.net import FaultyTransport
 from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
 from repro.training.runner import resolve_model

@@ -1,8 +1,17 @@
 """Unit tests for transport cost models."""
 
+import random
+
 import pytest
 
-from repro.net import LocalTransport, RDMATransport, TCPTransport, Transport
+from repro.faults import TransportFault
+from repro.net import (
+    FaultyTransport,
+    LocalTransport,
+    RDMATransport,
+    TCPTransport,
+    Transport,
+)
 from repro.units import MB, gbps, to_gbps
 
 
@@ -65,12 +74,6 @@ def test_gbps_rejects_nonpositive():
 
 
 # -- FaultyTransport --------------------------------------------------------
-
-
-import random
-
-from repro.faults import TransportFault
-from repro.net import FaultyTransport
 
 
 class _AlwaysBelow(random.Random):

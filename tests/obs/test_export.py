@@ -1,0 +1,151 @@
+"""Structural validation of the trace exporters.
+
+The chrome-trace output must hold up in ``chrome://tracing`` /
+Perfetto: every complete event carries pid/tid/ts/dur/name, timestamps
+are sorted, and metadata events name every referenced track.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    chrome_trace,
+    job_chrome_trace,
+    load_trace_file,
+    span_log_lines,
+    summarize_trace,
+    write_chrome_trace,
+    write_span_log,
+)
+from repro.sim import Environment, Trace
+from repro.training import ClusterSpec, SchedulerSpec
+from repro.training.job import TrainingJob
+from repro.training.runner import resolve_model
+
+
+def make_trace():
+    env = Environment()
+    trace = Trace(env)
+    trace.span("link", "n0.up", 0.0, 1.5, size=100.0)
+    trace.span("link", "n1.up", 0.5, 2.0, size=50.0)
+    trace.span("timeout", "push", 1.0, 3.0)
+    trace.point("retry", "push")
+    return trace
+
+
+def complete_events(doc):
+    return [event for event in doc["traceEvents"] if event["ph"] == "X"]
+
+
+def test_chrome_trace_structure():
+    doc = chrome_trace(make_trace())
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    assert events, "no events exported"
+    for event in events:
+        assert event["ph"] in ("M", "X", "i")
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        assert "name" in event
+        if event["ph"] == "X":
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+        elif event["ph"] == "i":
+            assert event["ts"] >= 0.0
+
+
+def test_chrome_trace_timestamps_sorted_and_microseconds():
+    doc = chrome_trace(make_trace())
+    stamped = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    timestamps = [event["ts"] for event in stamped]
+    assert timestamps == sorted(timestamps)
+    # Seconds → microseconds: the 1.5 s link span exports as 1.5e6 µs.
+    first_link = next(e for e in stamped if e["name"] == "n0.up")
+    assert first_link["dur"] == pytest.approx(1.5e6)
+
+
+def test_chrome_trace_tracks_are_named():
+    doc = chrome_trace(make_trace())
+    metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    process_names = {
+        e["pid"]: e["args"]["name"]
+        for e in metadata
+        if e["name"] == "process_name"
+    }
+    thread_names = {
+        (e["pid"], e["tid"]): e["args"]["name"]
+        for e in metadata
+        if e["name"] == "thread_name"
+    }
+    # Links live under the "network" process, one thread per link.
+    assert "network" in process_names.values()
+    assert "n0.up" in thread_names.values()
+    assert "n1.up" in thread_names.values()
+    # Every referenced (pid, tid) is named.
+    for event in complete_events(doc):
+        assert event["pid"] in process_names
+        assert (event["pid"], event["tid"]) in thread_names
+
+
+def test_span_log_lines_roundtrip():
+    lines = list(span_log_lines(make_trace()))
+    rows = [json.loads(line) for line in lines]
+    spans = [row for row in rows if row["type"] == "span"]
+    points = [row for row in rows if row["type"] == "point"]
+    assert len(spans) == 3
+    assert len(points) == 1
+    assert spans[0]["meta"] == {"size": 100.0}
+    assert points[0]["category"] == "retry"
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    trace = make_trace()
+    trace_path = tmp_path / "run.json"
+    log_path = tmp_path / "spans.jsonl"
+    write_chrome_trace(trace, str(trace_path))
+    write_span_log(trace, str(log_path))
+    events = load_trace_file(str(trace_path))
+    assert len(events) == len(chrome_trace(trace)["traceEvents"])
+    assert len(log_path.read_text().splitlines()) == 4
+    # Bare-list files load too.
+    bare = tmp_path / "bare.json"
+    bare.write_text(json.dumps([e for e in events if e["ph"] == "X"]))
+    assert all(e["ph"] == "X" for e in load_trace_file(str(bare)))
+
+
+def test_summarize_trace():
+    doc = chrome_trace(make_trace())
+    text = summarize_trace(doc["traceEvents"], top=2)
+    assert "3 spans" in text
+    assert "link" in text
+    assert "timeout" in text
+    assert "longest 2 events" in text
+    assert summarize_trace([]) == "empty trace (no events)"
+
+
+def test_job_chrome_trace_includes_compute_tracks():
+    cluster = ClusterSpec(machines=2, gpus_per_machine=1)
+    job = TrainingJob(
+        resolve_model("alexnet"),
+        cluster,
+        SchedulerSpec(kind="bytescheduler"),
+        enable_trace=True,
+    )
+    job.run(measure=1, warmup=1)
+    doc = job_chrome_trace(job)
+    metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    processes = {
+        e["args"]["name"] for e in metadata if e["name"] == "process_name"
+    }
+    threads = {
+        e["args"]["name"] for e in metadata if e["name"] == "thread_name"
+    }
+    assert "compute" in processes
+    assert "network" in processes
+    assert "w0" in threads and "w1" in threads
+    # Compute spans are present and well-formed.
+    compute = [e for e in complete_events(doc) if e["cat"] == "compute"]
+    assert compute
+    timestamps = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert timestamps == sorted(timestamps)

@@ -1,0 +1,132 @@
+"""Run reports and per-iteration metric sampling, end to end."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.obs import MetricsRegistry, RunReport
+from repro.training import ClusterSpec, SchedulerSpec, run_experiment
+
+
+def run_with_metrics(fault_plan=None, retry_timeout=None, **kwargs):
+    metrics = MetricsRegistry()
+    result = run_experiment(
+        "resnet50",
+        ClusterSpec(
+            machines=2, gpus_per_machine=2, retry_timeout=retry_timeout
+        ),
+        SchedulerSpec(
+            kind="bytescheduler", partition_bytes=4e6, credit_bytes=16e6
+        ),
+        measure=kwargs.pop("measure", 3),
+        warmup=kwargs.pop("warmup", 1),
+        fault_plan=fault_plan,
+        metrics=metrics,
+        **kwargs,
+    )
+    return metrics, result
+
+
+def test_report_attached_and_consistent():
+    metrics, result = run_with_metrics()
+    report = result.report
+    assert isinstance(report, RunReport)
+    assert report.speed == pytest.approx(result.speed)
+    assert report.model == "resnet50"
+    assert report.scheduler == "bytescheduler"
+    assert report.measured == 3
+    assert report.scheduler_stats["bytes_started"] > 0
+    assert report.scheduler_stats["tasks_enqueued"] > 0
+    # PS fabric: per-link totals with a sane busy fraction.
+    assert report.links
+    for totals in report.links.values():
+        assert 0.0 <= totals["busy_fraction"] <= 1.0
+        assert totals["busy_time"] >= 0.0
+
+
+def test_per_iteration_samples_cover_required_signals():
+    metrics, result = run_with_metrics(
+        fault_plan=FaultPlan.parse("blackout:w1.up@0.05-0.15"), retry_timeout=0.05
+    )
+    samples = metrics.iterations
+    assert len(samples) == 4  # warmup + measured iterations
+    for sample in samples:
+        for key in (
+            "iteration",
+            "duration",
+            "credit_occupancy",
+            "queue_depth",
+            "retries",
+            "timeouts",
+            "preemption_opportunities",
+            "escape_starts",
+            "link_busy_mean",
+        ):
+            assert key in sample, f"missing {key}"
+        assert 0.0 <= sample["credit_occupancy"] <= 1.0
+        assert sample["duration"] > 0.0
+    assert [sample["iteration"] for sample in samples] == [0, 1, 2, 3]
+    # The blackout window forces retries, which must show up in the samples
+    # and in the report's robustness section.
+    assert sum(sample["retries"] for sample in samples) > 0
+    assert result.report.robustness["retries"] > 0
+    assert result.report.iterations == samples
+
+
+def test_metrics_instruments_wired_into_hot_paths():
+    metrics, _result = run_with_metrics(
+        fault_plan=FaultPlan.parse("blackout:w1.up@0.05-0.15"), retry_timeout=0.05
+    )
+    names = metrics.names()
+    assert any(name.startswith("core.") and name.endswith("credit_used") for name in names)
+    assert any(name.endswith("queue_depth") for name in names)
+    assert "ps.transfer_latency" in names
+    assert "ps.retries" in names
+    latency = metrics["ps.transfer_latency"]
+    assert latency.count > 0
+    assert latency.mean > 0.0
+    assert metrics["ps.retries"].value > 0
+
+
+def test_report_round_trips_through_json(tmp_path):
+    _metrics, result = run_with_metrics()
+    path = tmp_path / "report.json"
+    result.report.write(str(path))
+    data = json.loads(path.read_text())
+    assert data["schema"] == 1
+    assert data["speed"] == pytest.approx(result.speed)
+    assert data["iterations"] == result.report.iterations
+    assert "scheduler_stats" in data and "links" in data
+
+
+def test_report_without_metrics_registry():
+    result = run_experiment(
+        "alexnet",
+        ClusterSpec(machines=2, gpus_per_machine=1),
+        SchedulerSpec(kind="bytescheduler"),
+        measure=2,
+        warmup=1,
+        report=True,
+    )
+    report = result.report
+    assert isinstance(report, RunReport)
+    assert report.iterations == []
+    assert report.metrics == {}
+    assert report.speed == pytest.approx(result.speed)
+    assert "timeouts" in report.summary()
+
+
+def test_allreduce_metrics():
+    metrics = MetricsRegistry()
+    run_experiment(
+        "resnet50",
+        ClusterSpec(machines=2, gpus_per_machine=1, arch="allreduce"),
+        SchedulerSpec(kind="bytescheduler"),
+        measure=2,
+        warmup=1,
+        metrics=metrics,
+    )
+    assert "allreduce.collective_latency" in metrics.names()
+    assert metrics["allreduce.collective_latency"].count > 0
+    assert len(metrics.iterations) == 3

@@ -143,3 +143,60 @@ def test_reproduce_faults_fast(capsys):
     assert code == 0
     assert "Goodput under faults" in out
     assert "blackout" in out and "straggler" in out
+
+
+def test_run_writes_observability_artifacts(capsys, tmp_path):
+    import json
+
+    trace_path = tmp_path / "run.json"
+    span_path = tmp_path / "spans.jsonl"
+    metrics_path = tmp_path / "metrics.json"
+    report_path = tmp_path / "report.json"
+    code, out = run_cli(
+        capsys,
+        "run", "--model", "resnet50", "--machines", "2",
+        "--gpus-per-machine", "1", "--measure", "2",
+        "--trace-out", str(trace_path),
+        "--span-log", str(span_path),
+        "--metrics-out", str(metrics_path),
+        "--report-out", str(report_path),
+    )
+    assert code == 0
+    trace = json.loads(trace_path.read_text())
+    events = trace["traceEvents"]
+    assert events
+    for event in events:
+        assert "pid" in event and "tid" in event and "name" in event
+        if event["ph"] == "X":
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+    assert all(json.loads(line) for line in span_path.read_text().splitlines())
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["iterations"]
+    assert "credit_occupancy" in metrics["iterations"][0]
+    report = json.loads(report_path.read_text())
+    assert report["model"] == "resnet50"
+    assert report["speed"] > 0
+    assert f"trace written to {trace_path}" in out
+
+
+def test_trace_subcommand_summarises(capsys, tmp_path):
+    trace_path = tmp_path / "run.json"
+    code, _out = run_cli(
+        capsys,
+        "run", "--model", "resnet50", "--machines", "2",
+        "--gpus-per-machine", "1", "--measure", "2",
+        "--trace-out", str(trace_path),
+    )
+    assert code == 0
+    code, out = run_cli(capsys, "trace", str(trace_path), "--top", "3")
+    assert code == 0
+    assert "spans" in out
+    assert "link" in out
+    assert "longest 3 events" in out
+
+
+def test_trace_subcommand_rejects_missing_file(capsys):
+    code = main(["trace", "/nonexistent/trace.json"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "cannot read trace" in captured.err

@@ -28,7 +28,7 @@ def test_ps_worker_uplink_carries_exactly_the_model(kind):
     cluster = ClusterSpec(machines=2, gpus_per_machine=1, bandwidth_gbps=10)
     job = TrainingJob(model, cluster, SchedulerSpec(kind=kind))
     iterations = 4
-    result = job.run(measure=iterations - 1, warmup=1)
+    job.run(measure=iterations - 1, warmup=1)
     for worker in job.workers:
         pushed = job.fabric.nic(worker).uplink.bytes_sent
         assert pushed == pytest.approx(iterations * model.total_bytes)

@@ -15,7 +15,7 @@ from repro.training import (
     linear_scaling_speed,
     run_experiment,
 )
-from repro.units import KB, MB
+from repro.units import MB
 
 
 def comm_bound_model():

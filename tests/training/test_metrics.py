@@ -62,3 +62,62 @@ def test_summary_mentions_unit_and_label():
     text = result.summary()
     assert "test" in text
     assert "images/s" in text
+
+
+def make_multi_result(markers_by_worker, warmup=1, measured=3, samples=100.0):
+    return TrainingResult(
+        markers=markers_by_worker,
+        warmup=warmup,
+        measured=measured,
+        samples_per_iteration=samples,
+        sample_unit="images",
+        label="test",
+    )
+
+
+def test_reference_markers_use_slowest_worker():
+    # w1 lags on every iteration: the reference timeline must be the
+    # element-wise max, not w0's markers.
+    result = make_multi_result(
+        {
+            "w0": [1.0, 2.0, 3.0, 4.0],
+            "w1": [1.5, 3.0, 4.5, 6.0],
+        }
+    )
+    assert result._reference_markers() == [1.5, 3.0, 4.5, 6.0]
+    assert result.iteration_time == pytest.approx(1.5)
+    assert result.speed == pytest.approx(100.0 / 1.5)
+
+
+def test_reference_markers_elementwise_not_per_worker():
+    # Slowness alternates between workers: neither worker's own markers
+    # match the reference; each iteration is done when its last
+    # straggler finishes.
+    result = make_multi_result(
+        {
+            "w0": [1.0, 3.0, 4.0, 6.0],
+            "w1": [2.0, 2.5, 5.0, 5.5],
+        }
+    )
+    assert result._reference_markers() == [2.0, 3.0, 5.0, 6.0]
+
+
+def test_first_worker_measurement_over_reports_with_straggler():
+    # Regression for the pre-fix behaviour, which measured only the
+    # first worker: with a straggling w1 the first-worker speed is
+    # strictly higher than the true (slowest-worker) speed.
+    markers = {
+        "w0": [1.0, 2.0, 3.0, 4.0],
+        "w1": [1.0, 2.0, 3.0, 5.0],  # straggles on the last iteration
+    }
+    result = make_multi_result(markers)
+    first_worker_only = make_result(markers["w0"])
+    assert first_worker_only.speed > result.speed
+    assert result.iteration_time == pytest.approx((5.0 - 1.0) / 3)
+
+
+def test_single_worker_unchanged():
+    multi = make_multi_result({"w0": [2.0, 3.0, 4.0, 5.0]})
+    single = make_result([2.0, 3.0, 4.0, 5.0])
+    assert multi.speed == single.speed
+    assert multi.iteration_times() == single.iteration_times()

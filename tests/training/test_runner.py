@@ -3,10 +3,9 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.models import ModelSpec, custom_model, get_model
+from repro.models import ModelSpec, custom_model
 from repro.training import (
     ClusterSpec,
-    SchedulerSpec,
     linear_scaling_speed,
     run_experiment,
     resolve_model,

@@ -1,0 +1,68 @@
+"""Regression tests: measured speed must come from the slowest worker.
+
+The pre-fix :class:`TrainingResult` derived samples/sec from the first
+worker's markers only.  A straggler window that covers the *last*
+measured iteration delays only the straggling worker's final marker
+(the first worker's compute for that iteration does not wait on it),
+so the first-worker path misses the stall entirely and over-reports.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.training import ClusterSpec, SchedulerSpec
+from repro.training.job import TrainingJob
+from repro.training.runner import resolve_model
+
+# Healthy iteration period for this setup is ~89.1 ms (markers at
+# ~0.089, 0.178, 0.267, 0.356); the window below slows w1's compute 5x
+# across the final measured iteration only.
+PLAN = "straggler:w1@0.27-0.36x5"
+
+
+def run_straggled():
+    cluster = ClusterSpec(machines=2, gpus_per_machine=2)
+    spec = SchedulerSpec(
+        kind="bytescheduler", partition_bytes=4e6, credit_bytes=16e6
+    )
+    job = TrainingJob(
+        resolve_model("resnet50"),
+        cluster,
+        spec,
+        fault_plan=FaultPlan.parse(PLAN),
+    )
+    return job.run(measure=3, warmup=1)
+
+
+def speed_from_markers(result, times):
+    window = times[max(result.warmup - 1, 0) : result.warmup + result.measured]
+    durations = [b - a for a, b in zip(window, window[1:])]
+    return result.samples_per_iteration / (sum(durations) / len(durations))
+
+
+def test_straggler_delays_only_the_straggling_worker():
+    result = run_straggled()
+    w0, w1 = result.markers["w0"], result.markers["w1"]
+    assert w0[:3] == pytest.approx(w1[:3], abs=1e-3)
+    assert w1[-1] > w0[-1]  # only w1's final iteration stalls
+
+
+def test_speed_derived_from_slowest_worker():
+    result = run_straggled()
+    reference = [max(pair) for pair in zip(*result.markers.values())]
+    assert result.speed == pytest.approx(speed_from_markers(result, reference))
+
+
+def test_first_worker_path_over_reports():
+    # The old measurement (first worker only) misses w1's stall and
+    # reports a strictly higher speed than the fixed slowest-worker one.
+    result = run_straggled()
+    first_worker_speed = speed_from_markers(result, result.markers["w0"])
+    assert first_worker_speed > result.speed * 1.2
+
+
+def test_fixed_speed_pinned():
+    # Pin the fixed value so the measurement path cannot silently
+    # regress to the over-reporting one (which gives ~1437 here).
+    result = run_straggled()
+    assert result.speed == pytest.approx(1111.6, rel=1e-3)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SchedulerError, TuningError
-from repro.models import custom_model, get_model
+from repro.models import custom_model
 from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
 from repro.tuning import OnlineTuner, SearchSpace
 from repro.units import MB

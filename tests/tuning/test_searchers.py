@@ -10,6 +10,7 @@ from repro.tuning import (
     BayesianOptimizer,
     GridSearch,
     RandomSearch,
+    Searcher,
     SearchSpace,
     SGDMomentumSearch,
     make_searcher,
@@ -131,6 +132,58 @@ def test_autotuner_restart_penalty_charged_on_partition_change():
     result = tuner.run(max_trials=6)
     # Random search changes partition nearly every trial.
     assert result.restart_overhead >= 5.0 * 4
+
+
+class OutOfBoxSearcher(Searcher):
+    """Scripted searcher whose suggestions may fall outside the box."""
+
+    def __init__(self, space, suggestions):
+        super().__init__(space)
+        self._suggestions = list(suggestions)
+
+    def suggest(self):
+        return self._suggestions.pop(0)
+
+
+def test_autotuner_clips_before_charging_restarts():
+    # Two distinct unclipped suggestions that clip to the *same*
+    # boundary partition: the pre-fix tuner compared the raw
+    # suggestions and charged a spurious PS restart.
+    tuner = AutoTuner(
+        quadratic_objective,
+        space=SPACE,
+        restart_penalty=5.0,
+    )
+    tuner.searcher = OutOfBoxSearcher(
+        SPACE,
+        [
+            (256 * MB, 32 * MB),  # clips to partition_max = 64 MB
+            (512 * MB, 32 * MB),  # clips to partition_max too
+        ],
+    )
+    result = tuner.run(max_trials=2)
+    assert result.restart_overhead == 0.0
+
+
+def test_autotuner_records_clipped_trials():
+    # Trials and best_point must be inside the search box even when the
+    # searcher suggests points outside it (the pre-fix tuner recorded
+    # the raw suggestion while profiling the clipped one).
+    tuner = AutoTuner(quadratic_objective, space=SPACE)
+    tuner.searcher = OutOfBoxSearcher(
+        SPACE, [(1e12, 1e12), (1.0, 1.0), (8 * MB, 32 * MB)]
+    )
+    result = tuner.run(max_trials=3)
+    for (partition, credit), _speed in result.trials:
+        assert SPACE.partition_min <= partition <= SPACE.partition_max
+        assert SPACE.credit_min <= credit <= SPACE.credit_max
+    best_partition, best_credit = result.best_point
+    assert SPACE.partition_min <= best_partition <= SPACE.partition_max
+    assert SPACE.credit_min <= best_credit <= SPACE.credit_max
+    # The in-box optimum wins, and its recorded speed matches the
+    # clipped configuration that was actually profiled.
+    assert result.best_point == (8 * MB, 32 * MB)
+    assert result.best_speed == pytest.approx(1000.0)
 
 
 def test_autotuner_validation():
