@@ -3,8 +3,10 @@
 Every bench regenerates one of the paper's tables or figures.  They are
 *result* benchmarks, not micro-benchmarks: each runs its experiment once
 (``benchmark.pedantic(rounds=1)``) and prints the paper-style rows so
-``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
-report.  EXPERIMENTS.md records the paper-vs-measured comparison.
+``pytest benchmarks/ --benchmark-only -m slow`` doubles as the
+reproduction report (the explicit ``-m slow`` overrides pyproject's
+fast-lane ``-m 'not slow'`` addopts).  EXPERIMENTS.md records the
+paper-vs-measured comparison.
 """
 
 from __future__ import annotations
@@ -15,9 +17,9 @@ import pytest
 def pytest_collection_modifyitems(items):
     """Every bench reruns a whole experiment: all are ``slow``.
 
-    Tier-1 (`pytest -x -q`) never collects this directory (testpaths);
-    the marker additionally lets `pytest benchmarks/ -m "not slow"`
-    deselect them when this directory *is* targeted.
+    Tier-1 (`pytest -x -q`) never collects this directory (testpaths),
+    and pyproject's ``-m 'not slow'`` addopts deselects the benches even
+    when this directory *is* targeted — pass ``-m slow`` to run them.
     """
     for item in items:
         item.add_marker(pytest.mark.slow)

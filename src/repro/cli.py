@@ -47,7 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--fault-plan", default=None, metavar="SPEC",
         help="inject faults, e.g. "
-             "'straggler:w0@0.0-0.5x3;slowlink:w1.up@0.1-0.3x0.25;loss:0.02;seed:7'",
+             "'straggler:w0@0.0-0.5x3;slowlink:w1.up@0.1-0.3x0.25;"
+             "crash:s0@0.4+0.2;loss:0.02;seed:7'",
+    )
+    run.add_argument(
+        "--checkpoint-interval-ms", type=float, default=None, metavar="MS",
+        help="server shard snapshot cadence for crash recovery "
+             "(0 disables checkpointing; default 100 ms)",
     )
     run.add_argument("--retry-timeout-ms", type=float, default=None,
                      help="per-transfer timeout before retransmission (ms)")
@@ -81,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
             "figure2", "figure4", "figure9", "figure10", "figure11",
             "figure12", "figure13", "figure14", "table1", "p3",
             "bounds", "ablations", "extensions", "coscheduling", "faults",
-            "all",
+            "recovery", "all",
         ],
     )
     reproduce.add_argument("--fast", action="store_true",
@@ -150,11 +156,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     )
 
     fault_plan = None
+    recovery_spec = None
     if args.fault_plan:
         from repro.faults import FaultPlan
 
         fault_plan = FaultPlan.parse(args.fault_plan)
         print(f"fault plan: {fault_plan.describe()}")
+        checkpoint_ms = getattr(args, "checkpoint_interval_ms", None)
+        if checkpoint_ms is not None:
+            from repro.recovery import RecoverySpec
+
+            recovery_spec = RecoverySpec(checkpoint_interval=checkpoint_ms / 1e3)
 
     wants_trace = bool(args.timeline or args.trace_out or args.span_log)
     metrics = None
@@ -169,6 +181,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         enable_trace=wants_trace,
         fault_plan=fault_plan,
         metrics=metrics,
+        recovery_spec=recovery_spec,
     )
     result = job.run(measure=args.measure)
     print(result.summary())
@@ -176,6 +189,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         timeouts = getattr(job.backend, "timeouts", 0)
         retries = getattr(job.backend, "retries", 0)
         print(f"robustness: {timeouts} transfer timeouts, {retries} retries")
+    if job.recovery is not None:
+        stats = job.recovery.stats()
+        print(
+            f"recovery: {stats['crashes']:.0f} crashes, "
+            f"{stats['recoveries']:.0f} recovered in "
+            f"{stats['recovery_time_total'] * 1e3:.1f} ms total, "
+            f"{stats['replayed_subtasks']:.0f} partitions replayed, "
+            f"{stats['lost_work_bytes'] / 1e6:.1f} MB lost, "
+            f"{stats['resync_bytes'] / 1e6:.1f} MB re-synced"
+        )
     if args.trace_out:
         from repro.obs import job_chrome_trace, write_chrome_trace
 
@@ -296,6 +319,16 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         print(exp.faults.format_result(
             exp.faults.run(machines=2, measure=2 if fast else 3)
         ))
+    elif target == "recovery":
+        kwargs = {}
+        if fast:
+            kwargs = dict(
+                measure=3,
+                crash_times=(0.4,),
+                restart_delays=(0.1,),
+                checkpoint_intervals=(0.05, 0.2),
+            )
+        print(exp.recovery.format_result(exp.recovery.run(machines=2, **kwargs)))
     elif target == "extensions":
         machines = 2 if fast else 4
         print(exp.extensions.format_per_layer(exp.extensions.per_layer_partitions(machines=machines)))

@@ -65,6 +65,9 @@ class RingAllReduceBackend(CommBackend):
         self.collectives_run = 0
         self.bytes_reduced = 0.0
         self.retry = retry
+        #: Machines that crashed permanently: the ring reforms over the
+        #: survivors (fewer ranks — less wire traffic, less sync).
+        self._dead_machines: Tuple[str, ...] = ()
         #: Fault-plan hooks (set by repro.faults.inject): degradation
         #: windows stall/slow the ring, loss fails whole collectives.
         self._fault_windows: Tuple[Tuple[float, float, float], ...] = ()
@@ -90,9 +93,27 @@ class RingAllReduceBackend(CommBackend):
         return self._workers
 
     @property
+    def live_machines(self) -> int:
+        """Machines still participating in the ring."""
+        return self.machines - len(self._dead_machines)
+
+    @property
     def ring_size(self) -> int:
-        """Number of ranks in the (flat) ring."""
-        return self.machines * self.gpus_per_machine
+        """Number of ranks in the (flat) ring (survivors only)."""
+        return self.live_machines * self.gpus_per_machine
+
+    def mark_rank_dead(self, machine: str) -> None:
+        """Permanently remove ``machine``: the ring reforms over the
+        survivors from the next collective onward."""
+        if machine not in self._workers:
+            raise ConfigError(f"unknown machine {machine!r}")
+        if machine in self._dead_machines:
+            return
+        self._dead_machines = self._dead_machines + (machine,)
+        if self.live_machines < 1:
+            raise ConfigError("every all-reduce machine is dead")
+        if self.trace is not None:
+            self.trace.point("ring_reform", f"{machine} removed")
 
     def sync_overhead(self) -> float:
         """Per-collective synchronisation cost (the all-reduce θ)."""
@@ -109,7 +130,7 @@ class RingAllReduceBackend(CommBackend):
         ranks = self.ring_size
         if ranks == 1:
             return self.base_sync  # nothing to reduce
-        if self.machines > 1:
+        if self.live_machines > 1:
             effective = self.bandwidth * self.transport.efficiency
             wire = 2 * (ranks - 1) / ranks * size / effective
         else:

@@ -37,9 +37,12 @@ class RetryPolicy:
     subsequent attempt waits ``backoff`` times longer before giving up,
     up to ``max_retries`` retransmissions.  The first completion (of
     any copy) wins; later copies are ignored.  Exhausting the retry
-    budget leaves the original copies in flight — the simulated fabric
-    always delivers eventually, so this degrades throughput rather than
-    losing data (documented deviation from a real lossy network).
+    budget *aborts* the transfer: its waiter events fail with a typed
+    :class:`~repro.errors.TransferAbortedError` (recorded as an
+    ``abort`` span in the trace) so the caller sees the failure instead
+    of hanging forever.  A crash-recovery manager may claim the abort
+    instead — transfers addressed to a node it knows is down are its
+    business, not an error.
     """
 
     timeout: float
@@ -127,6 +130,16 @@ class CommBackend(abc.ABC):
         and ``done`` (data-available) events.  Chunks handed over are
         *not preemptible* — that is the whole point.
         """
+
+    def chunk_targets(self, chunk: ChunkSpec) -> Optional[str]:
+        """The remote node ``chunk``'s delivery depends on, if any.
+
+        The scheduler uses this to drain/park partitions bound for a
+        node that died.  PS returns the chunk's server; collective
+        backends return ``None`` (every rank participates — a dead rank
+        is handled inside the collective instead).
+        """
+        return None
 
     def bytes_per_iteration(self, total_model_bytes: float) -> float:
         """Bytes a single worker NIC moves per direction per iteration

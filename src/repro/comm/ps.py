@@ -23,9 +23,9 @@ similar, §6.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TransferAbortedError
 from repro.net import Fabric, Link, Message, Transport
 from repro.net.fabric import TransferHandle
 from repro.sim import Environment, Event
@@ -42,9 +42,16 @@ DEFAULT_UPDATE_RATE = 40 * GB
 
 @dataclass
 class _ChunkState:
-    """Aggregation progress for one (iteration, layer, chunk)."""
+    """Aggregation progress for one (iteration, layer, chunk).
 
-    arrived: int = 0
+    ``pulled`` makes the chunk *durable* across a server crash: once
+    any worker holds the updated parameters, recovery can re-sync them
+    back to a restarted server instead of re-aggregating from scratch.
+    """
+
+    spec: ChunkSpec
+    arrived: Set[str] = field(default_factory=set)
+    pulled: Set[str] = field(default_factory=set)
     waiters: Dict[str, Event] = field(default_factory=dict)
     updated: bool = False
 
@@ -90,6 +97,23 @@ class PSBackend(CommBackend):
         #: Robustness counters (read by the faults experiment).
         self.timeouts = 0
         self.retries = 0
+        self.aborts = 0
+        #: Crash-recovery hook: called with ``(message, error)`` when a
+        #: transfer exhausts its retry budget; returning True claims the
+        #: abort (the recovery manager will redo the work), otherwise
+        #: the error surfaces out of ``env.run()``.
+        self.on_abort: Optional[Callable[[Message, TransferAbortedError], bool]] = None
+        #: Workers participating in aggregation barriers (crashed ones
+        #: are removed so survivors are not blocked forever).
+        self._active: Set[str] = set(workers)
+        #: Nodes currently down (no updates are sent into them).
+        self._down: Set[str] = set()
+        #: Servers that died permanently (their shard keys remap).
+        self._dead_servers: Set[str] = set()
+        #: Fully synchronised chunks — the final parameter state.
+        self.completed_keys: Set[Tuple[int, int, int]] = set()
+        self.bytes_completed = 0.0
+        self._since_checkpoint: Dict[str, float] = {s: 0.0 for s in self.servers}
         #: Optional metrics instruments (see :meth:`attach_metrics`).
         self._obs: Optional[_BackendInstruments] = None
         self.sharding = sharding or ChunkRoundRobin()
@@ -126,15 +150,42 @@ class PSBackend(CommBackend):
         )
 
     def server_for(self, chunk: ChunkSpec) -> str:
-        """The server hosting ``chunk``."""
-        return self.servers[self.sharding.server_for(chunk.layer, chunk.chunk_index)]
+        """The server hosting ``chunk`` (remapped if its home is dead)."""
+        index = self.sharding.server_for(chunk.layer, chunk.chunk_index)
+        server = self.servers[index]
+        if server in self._dead_servers:
+            live = [s for s in self.servers if s not in self._dead_servers]
+            server = live[index % len(live)]
+        return server
+
+    def chunk_targets(self, chunk: ChunkSpec) -> Optional[str]:
+        """The remote node this chunk's completion depends on."""
+        return self.server_for(chunk)
 
     def start_chunk(self, chunk: ChunkSpec) -> ChunkHandle:
         if chunk.worker not in self._workers:
             raise ConfigError(f"unknown worker {chunk.worker!r} for chunk {chunk}")
         done = self.env.event()
         server = self.server_for(chunk)
-        state = self._pending.setdefault(chunk.key, _ChunkState())
+        if chunk.key in self.completed_keys:
+            # A recovered worker replaying a chunk the fleet already
+            # finished: the server answers straight from its shard, no
+            # barrier and no second optimizer update.
+            push = Message(chunk.worker, server, chunk.size, kind="push", payload=chunk)
+            handle = self._transfer(push)
+
+            def _answer(_evt: Event, worker: str = chunk.worker) -> None:
+                pull = Message(server, worker, chunk.size, kind="pull", payload=chunk)
+                self._transfer(pull).delivered.callbacks.append(
+                    lambda _e: None if done.triggered else done.succeed(chunk)
+                )
+
+            handle.delivered.callbacks.append(_answer)
+            return ChunkHandle(sent=self._acked(handle, chunk), done=done)
+
+        state = self._pending.get(chunk.key)
+        if state is None:
+            state = self._pending[chunk.key] = _ChunkState(spec=chunk)
         if chunk.worker in state.waiters:
             raise ConfigError(f"chunk {chunk.key} started twice by {chunk.worker}")
         state.waiters[chunk.worker] = done
@@ -144,6 +195,9 @@ class PSBackend(CommBackend):
         handle.delivered.callbacks.append(
             lambda _evt, c=chunk, s=server: self._on_push_delivered(c, s)
         )
+        return ChunkHandle(sent=self._acked(handle, chunk), done=done)
+
+    def _acked(self, handle: TransferHandle, chunk: ChunkSpec) -> Event:
         # Sender credit is held until the push is delivered AND the
         # server's acknowledgement returns (that is what ends a send in
         # ps-lite): with credit = one partition this degenerates to
@@ -156,9 +210,8 @@ class PSBackend(CommBackend):
                     lambda _e: acked.succeed(chunk)
                 )
             )
-        else:
-            acked = handle.delivered
-        return ChunkHandle(sent=acked, done=done)
+            return acked
+        return handle.delivered
 
     # -- internal ----------------------------------------------------------
 
@@ -231,9 +284,38 @@ class PSBackend(CommBackend):
                 if trace is not None:
                     trace.point("retry", f"{message.kind}:{message.src}->{message.dst}")
                 attempt(number + 1)
+            else:
+                self._abort(message, number + 1, started_at)
 
         attempt(0)
         return TransferHandle(sent=sent, delivered=delivered)
+
+    def _abort(self, message: Message, attempts: int, started_at: float) -> None:
+        """The retry budget ran out: surface a typed abort.
+
+        The abort is recorded as an ``abort`` span; if no recovery
+        handler claims it, the :class:`TransferAbortedError` is raised
+        out of ``env.run()`` via a failing event (the waiter is a lost
+        cause either way — better a typed error than a silent hang).
+        """
+        self.aborts += 1
+        if self.fabric.trace is not None:
+            self.fabric.trace.span(
+                "abort",
+                f"{message.kind}:{message.src}->{message.dst}",
+                started_at,
+                self.env.now,
+                attempts=attempts,
+                size=message.size,
+            )
+        error = TransferAbortedError(
+            f"{message.kind} {message.src}->{message.dst} "
+            f"({message.size:.0f}B) aborted after {attempts} attempts",
+            message,
+        )
+        claimed = self.on_abort is not None and self.on_abort(message, error)
+        if not claimed:
+            self.env.event().fail(error)
 
     def _observe_latency(self, delivered: Event) -> None:
         """Record hand-off → first-delivery latency in the histogram."""
@@ -242,20 +324,45 @@ class PSBackend(CommBackend):
             lambda _evt: self._obs.latency.observe(self.env.now - started)
         )
 
+    def _barrier_met(self, state: _ChunkState) -> bool:
+        """All *live* workers' pushes have arrived (dead ones excused)."""
+        return all(
+            worker in state.arrived
+            for worker in self._workers
+            if worker in self._active
+        )
+
     def _on_push_delivered(self, chunk: ChunkSpec, server: str) -> None:
-        state = self._pending[chunk.key]
-        state.arrived += 1
+        state = self._pending.get(chunk.key)
+        if state is None:
+            return  # forgotten during crash recovery; the worker re-pushes
+        state.arrived.add(chunk.worker)
         if self.synchronous:
-            if state.arrived == len(self._workers):
-                self._update_and_pull(chunk, server, list(state.waiters))
+            if state.updated:
+                # A recovered worker re-pushing after the aggregation
+                # barrier already fired: the update must not run twice,
+                # so the server answers this worker directly.
+                self._update_and_pull(
+                    chunk, server, [chunk.worker], run_update=False
+                )
+            else:
+                self._maybe_update(state)
         else:
             # Async: answer this worker immediately; run the (cheap)
             # update once, on first arrival.
             run_update = not state.updated
-            state.updated = True
             self._update_and_pull(
                 chunk, server, [chunk.worker], run_update=run_update
             )
+
+    def _maybe_update(self, state: _ChunkState) -> None:
+        """Run the optimizer update once the aggregation barrier passes."""
+        if state.updated or not self._barrier_met(state):
+            return
+        server = self.server_for(state.spec)
+        if server in self._down:
+            return  # the restart path re-drives this chunk
+        self._update_and_pull(state.spec, server, list(state.waiters))
 
     def _update_and_pull(
         self,
@@ -264,7 +371,13 @@ class PSBackend(CommBackend):
         pullers: List[str],
         run_update: bool = True,
     ) -> None:
+        state = self._pending.get(chunk.key)
+        if state is not None:
+            state.updated = True
+
         def _send_pulls(_evt: Event = None) -> None:
+            if server in self._down:
+                return  # the server died mid-update; recovery re-drives
             for worker in pullers:
                 pull = Message(server, worker, chunk.size, kind="pull", payload=chunk)
                 handle = self._transfer(pull)
@@ -279,10 +392,144 @@ class PSBackend(CommBackend):
             _send_pulls()
 
     def _on_pull_delivered(self, chunk: ChunkSpec, worker: str) -> None:
-        state = self._pending[chunk.key]
-        state.waiters.pop(worker).succeed(chunk)
-        if not state.waiters and state.arrived == len(self._workers):
-            del self._pending[chunk.key]
+        state = self._pending.get(chunk.key)
+        if state is None:
+            return
+        state.pulled.add(worker)
+        waiter = state.waiters.pop(worker, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(chunk)
+        self._maybe_complete(state)
+
+    def _maybe_complete(self, state: _ChunkState) -> None:
+        key = state.spec.key
+        if key not in self._pending:
+            return
+        if state.waiters or not state.updated or not self._barrier_met(state):
+            return
+        del self._pending[key]
+        self.completed_keys.add(key)
+        self.bytes_completed += state.spec.size
+        server = self.server_for(state.spec)
+        self._since_checkpoint[server] = (
+            self._since_checkpoint.get(server, 0.0) + state.spec.size
+        )
+
+    # -- crash recovery ----------------------------------------------------
+
+    @property
+    def active_workers(self) -> Tuple[str, ...]:
+        """Workers currently participating in aggregation barriers."""
+        return tuple(w for w in self._workers if w in self._active)
+
+    def mark_node_down(self, node: str) -> None:
+        """The node's process died; hold updates destined for it."""
+        self._down.add(node)
+
+    def mark_node_up(self, node: str) -> None:
+        """The node's process is back (state re-sync happens above)."""
+        self._down.discard(node)
+
+    def mark_worker_inactive(self, worker: str) -> None:
+        """Remove a crashed worker from aggregation barriers.
+
+        Its pending waiters are forgotten (its scheduler is paused or
+        halted, so nothing consumes them), and every chunk that was
+        only waiting on this worker's push is re-checked — survivors
+        must not block on a ghost.
+        """
+        self._active.discard(worker)
+        for key in sorted(self._pending):
+            state = self._pending.get(key)
+            if state is None:
+                continue
+            state.waiters.pop(worker, None)
+            if self.synchronous:
+                self._maybe_update(state)
+            self._maybe_complete(state)
+
+    def mark_worker_active(self, worker: str) -> None:
+        """Re-admit a restarted worker to aggregation barriers."""
+        if worker not in self._workers:
+            raise ConfigError(f"unknown worker {worker!r}")
+        self._active.add(worker)
+
+    def mark_server_dead(self, server: str) -> None:
+        """Permanently remove ``server``: its shard remaps to survivors."""
+        if server not in self.servers:
+            raise ConfigError(f"unknown server {server!r}")
+        self._dead_servers.add(server)
+        if all(s in self._dead_servers for s in self.servers):
+            raise ConfigError("every parameter server is dead; cannot remap")
+
+    def pending_on_server(
+        self, server: str
+    ) -> Tuple[List[Tuple[int, int, int]], List[Tuple[int, int, int]]]:
+        """Split ``server``'s pending chunks into ``(lost, durable)``.
+
+        *Lost* chunks (no pull delivered yet) existed only in the dead
+        server's memory: their state is dropped and every worker
+        re-pushes.  *Durable* chunks already reached at least one
+        worker, so recovery re-syncs the payload back and re-issues the
+        outstanding pulls instead of re-aggregating.
+        """
+        lost: List[Tuple[int, int, int]] = []
+        durable: List[Tuple[int, int, int]] = []
+        for key in sorted(self._pending):
+            state = self._pending[key]
+            if self.server_for(state.spec) != server:
+                continue
+            (durable if state.pulled else lost).append(key)
+        return lost, durable
+
+    def forget_chunks(self, keys) -> float:
+        """Drop server-side state for crash-lost chunks (re-pushed
+        later); returns the bytes of aggregation work thrown away."""
+        lost_bytes = 0.0
+        for key in keys:
+            state = self._pending.pop(key, None)
+            if state is not None and state.arrived:
+                lost_bytes += state.spec.size
+        return lost_bytes
+
+    def checkpoint(self, server: str) -> None:
+        """Snapshot ``server``'s shard: recovery re-syncs only bytes
+        completed after this point."""
+        self._since_checkpoint[server] = 0.0
+        if self.fabric.trace is not None:
+            self.fabric.trace.point("checkpoint", server)
+
+    def resync_bytes(self, server: str) -> float:
+        """Bytes a restarting ``server`` must bulk-fetch from workers:
+        chunks completed since its last checkpoint plus the payload of
+        durable in-flight chunks."""
+        _lost, durable = self.pending_on_server(server)
+        pending = sum(self._pending[key].spec.size for key in durable)
+        return self._since_checkpoint.get(server, 0.0) + pending
+
+    def reissue_pulls(self, server: str) -> int:
+        """After restart + re-sync, re-send pulls for durable chunks to
+        the workers still waiting; returns how many chunks were re-driven."""
+        reissued = 0
+        for key in sorted(self._pending):
+            state = self._pending.get(key)
+            if state is None or not state.pulled:
+                continue
+            if self.server_for(state.spec) != server:
+                continue
+            pullers = [w for w in self._workers if w in state.waiters]
+            if pullers:
+                self._update_and_pull(state.spec, server, pullers, run_update=False)
+                reissued += 1
+        return reissued
+
+    def sync_digest(self) -> Tuple[Tuple[int, int, int], ...]:
+        """Order-insensitive digest of the fully synchronised chunk set.
+
+        Equal digests mean the cluster converged to the same final
+        parameter state (every chunk's update applied exactly once and
+        delivered everywhere it was awaited)."""
+        return tuple(sorted(self.completed_keys))
 
     def __repr__(self) -> str:
         mode = "sync" if self.synchronous else "async"

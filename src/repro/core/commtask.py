@@ -40,6 +40,7 @@ class TaskState(enum.Enum):
     READY = "ready"
     STARTED = "started"
     FINISHED = "finished"
+    CANCELLED = "cancelled"
 
 
 class SubCommTask:

@@ -46,6 +46,11 @@ class ReadyCountdown:
     For collective backends every worker must have produced its gradient
     before the all-reduce may be scheduled; per-worker backends use a
     single party.
+
+    Arrivals may carry a *party* label (the worker name).  Labelled
+    arrivals are idempotent, and :meth:`mark_absent` excuses a party
+    that died — the collective proceeds over the survivors instead of
+    waiting forever for a gradient that will never be produced.
     """
 
     def __init__(self, task: CommTask, parties: int) -> None:
@@ -53,11 +58,28 @@ class ReadyCountdown:
             raise SchedulerError(f"parties must be >= 1, got {parties}")
         self.task = task
         self._remaining = parties
+        self._arrived: set = set()
+        self._absent: set = set()
 
-    def arrive(self) -> None:
+    def arrive(self, party: Optional[str] = None) -> None:
         """One worker's gradient is ready."""
+        if party is not None:
+            if party in self._arrived or party in self._absent:
+                return
+            self._arrived.add(party)
         if self._remaining <= 0:
             raise SchedulerError(f"countdown for {self.task.name} over-arrived")
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.task.notify_ready()
+
+    def mark_absent(self, party: str) -> None:
+        """``party`` crashed and will never arrive: excuse it."""
+        if party in self._arrived or party in self._absent:
+            return
+        self._absent.add(party)
+        if self._remaining <= 0:
+            return
         self._remaining -= 1
         if self._remaining == 0:
             self.task.notify_ready()
@@ -74,6 +96,9 @@ class Adapter:
         self.engine = engine
         self.core = core
         self.worker = worker
+        #: Countdown-party label; distinct per worker even when
+        #: ``worker`` is None (collective mode), set by TrainingJob.
+        self.party: Optional[str] = worker
         self.barrier_engine = engine.has_barrier
         self._gates: Dict[Tuple[int, int], EngineOp] = {}
         self._barriers: Dict[int, EngineOp] = {}
@@ -120,7 +145,7 @@ class VanillaAdapter(Adapter):
 
     def post_comm(self, iteration, layer, bp_op, task, countdown):
         def _launch():
-            countdown.arrive()
+            countdown.arrive(self.party)
             return task.finished
 
         op = self.engine.post(
@@ -155,7 +180,7 @@ class ByteSchedulerAdapter(Adapter):
                 self._label(iteration, layer, "ready"),
                 OpKind.PROXY,
                 deps=[bp_op],
-                on_start=countdown.arrive,
+                on_start=lambda c=countdown: c.arrive(self.party),
             )
         )
         self._tasks[(iteration, layer)] = task

@@ -26,9 +26,17 @@ Two deliberate, documented deviations from the pseudo-code:
   that by tuning credit ≥ partition size), a per-layer
   ``partition_overrides`` unit bigger than the window, and the
   float-drift case where mixed partition sizes leave the credit a few
-  ULPs short of capacity forever.  As a second guard, the credit is
-  snapped back to capacity whenever the last in-flight partition
+  ULPs short of capacity forever.  As a second guard, the lent-bytes
+  ledger is snapped to zero whenever the last charged partition
   returns, so drift cannot accumulate across iterations.
+
+Crash-fault support: the Core keeps an explicit per-partition *flight*
+ledger, so a partition bound for a node that died can be cancelled with
+its credit refunded exactly once (:meth:`drain`) and re-enqueued at its
+original priority (:meth:`requeue`), while stale completion callbacks
+from the pre-crash attempt are ignored.  :meth:`block_node` parks
+queued partitions that depend on a down node instead of launching
+doomed transfers, without stalling unrelated traffic behind them.
 """
 
 from __future__ import annotations
@@ -36,14 +44,30 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SchedulerError
 from repro.sim import Environment
 from repro.comm.base import CommBackend
-from repro.core.commtask import CommTask, SubCommTask
+from repro.core.commtask import CommTask, SubCommTask, TaskState
 
 __all__ = ["ByteSchedulerCore", "PRIORITY_LAYER", "PRIORITY_FIFO"]
+
+
+@dataclass
+class _Flight:
+    """Credit-ledger entry for one started partition.
+
+    ``charged`` records whether the start consumed credit; ``sent``
+    whether that credit has been returned; ``cancelled`` turns any
+    late callbacks from the underlying transfer into no-ops (the
+    requeued copy of the subtask owns completion from then on).
+    """
+
+    subtask: SubCommTask
+    charged: bool
+    sent: bool = False
+    cancelled: bool = False
 
 
 @dataclass
@@ -96,7 +120,6 @@ class ByteSchedulerCore:
         if any(value <= 0 for value in self.partition_overrides.values()):
             raise SchedulerError("partition overrides must be > 0")
         self.credit_capacity = float(credit_bytes)
-        self.credit = float(credit_bytes)
         self.priority_mode = priority_mode
         self.notify_delay = notify_delay
         self.name = name
@@ -106,6 +129,15 @@ class ByteSchedulerCore:
         self._wakeup_pending = False
         self._inflight = 0
         self._shutdown = False
+        self._paused = False
+        # Credit ledger: bytes lent to charged, not-yet-sent flights.
+        self._lent = 0.0
+        self._unsent_charged = 0
+        self._flights: Dict[SubCommTask, _Flight] = {}
+        # Nodes known to be down; partitions depending on them are
+        # parked instead of launched.
+        self._blocked_nodes: Set[str] = set()
+        self._parked: Dict[str, List[Tuple[float, int, SubCommTask]]] = {}
         # Statistics.
         self.bytes_started = 0.0
         self.subtasks_started = 0
@@ -113,8 +145,26 @@ class ByteSchedulerCore:
         self.preemption_opportunities = 0
         #: Liveness-escape starts (queue head launched uncharged).
         self.escape_starts = 0
+        #: Crash-recovery counters.
+        self.drained_subtasks = 0
+        self.requeued_subtasks = 0
+        self.credit_refunded = 0.0
         #: Optional metrics instruments (see :meth:`attach_metrics`).
         self._obs: Optional[_CoreInstruments] = None
+
+    @property
+    def credit(self) -> float:
+        """Bytes of window currently available.
+
+        Derived from the flight ledger, and clamped at zero: shrinking
+        ``credit_bytes`` below the amount lent to in-flight partitions
+        leaves the window exhausted (not negative) until those
+        partitions return their credit, after which scheduling resumes
+        under the new capacity.
+        """
+        if math.isinf(self.credit_capacity):
+            return math.inf
+        return max(0.0, self.credit_capacity - self._lent)
 
     # -- the paper's Core interface ---------------------------------------
 
@@ -146,6 +196,7 @@ class ByteSchedulerCore:
         """Stop scheduling; queued subtasks are abandoned."""
         self._shutdown = True
         self._queue.clear()
+        self._parked.clear()
 
     def create_task(
         self,
@@ -194,7 +245,9 @@ class ByteSchedulerCore:
         """Adjust the two knobs between iterations (auto-tuning, §4.3).
 
         Credit adjustments preserve the amount currently lent out to
-        in-flight partitions.
+        in-flight partitions.  Shrinking the window below that amount
+        is legal: the available credit clamps at zero (never negative)
+        and recovers as the in-flight partitions finish.
         """
         if partition_bytes is not None:
             if partition_bytes <= 0:
@@ -203,9 +256,7 @@ class ByteSchedulerCore:
         if credit_bytes is not None:
             if credit_bytes <= 0:
                 raise SchedulerError("credit must be > 0")
-            lent = self.credit_capacity - self.credit
             self.credit_capacity = float(credit_bytes)
-            self.credit = self.credit_capacity - lent
             if self._obs is not None:
                 self._obs.credit_used.set(self._credit_used())
             self._kick()
@@ -253,8 +304,20 @@ class ByteSchedulerCore:
 
     def _schedule(self) -> None:
         """procedure SCHEDULE: start queue heads while credit allows."""
-        while self._queue:
+        while self._queue and not self._paused:
             _priority, _seq, subtask = self._queue[0]
+            if self._blocked_nodes:
+                target = self.backend.chunk_targets(subtask.chunk())
+                if target is not None and target in self._blocked_nodes:
+                    # The head depends on a node known to be down: park
+                    # it (released by unblock_node) rather than either
+                    # launching a doomed transfer or stalling unrelated
+                    # traffic behind it.
+                    entry = heapq.heappop(self._queue)
+                    self._parked.setdefault(target, []).append(entry)
+                    if self._obs is not None:
+                        self._obs.queue_depth.set(len(self._queue))
+                    continue
             fits = self.credit >= subtask.size
             # Liveness escape: with nothing in flight, no credit will
             # ever return, so a head that does not fit *now* never will
@@ -265,7 +328,8 @@ class ByteSchedulerCore:
                 return  # head-of-line blocking is intentional (priority!)
             heapq.heappop(self._queue)
             if fits:
-                self.credit -= subtask.size
+                self._lent += subtask.size
+                self._unsent_charged += 1
             else:
                 self.escape_starts += 1
             if self._obs is not None:
@@ -276,15 +340,17 @@ class ByteSchedulerCore:
             self._start(subtask, charged=fits)
 
     def _start(self, subtask: SubCommTask, charged: bool) -> None:
+        flight = _Flight(subtask, charged)
+        self._flights[subtask] = flight
         self._inflight += 1
         self.bytes_started += subtask.size
         self.subtasks_started += 1
         handle = subtask.start()
         handle.sent.callbacks.append(
-            lambda _evt, s=subtask, c=charged: self._after_delay(self._on_sent, s, c)
+            lambda _evt, f=flight: self._after_delay(self._on_sent, f)
         )
         handle.done.callbacks.append(
-            lambda _evt, s=subtask: self._after_delay(self._finish, s)
+            lambda _evt, f=flight: self._after_delay(self._finish, f)
         )
 
     def _after_delay(self, action, *args) -> None:
@@ -297,22 +363,136 @@ class ByteSchedulerCore:
         else:
             action(*args)
 
-    def _on_sent(self, subtask: SubCommTask, charged: bool) -> None:
+    def _on_sent(self, flight: _Flight) -> None:
         """The sender buffer is free again: return credit (§4.2)."""
+        if flight.cancelled or flight.sent:
+            return
+        flight.sent = True
         self._inflight -= 1
-        if charged:
-            self.credit += subtask.size
-        if self._inflight == 0:
-            # All lent credit is back; snap away any float drift from
-            # mixed partition sizes so `credit == capacity` stays exact.
-            self.credit = self.credit_capacity
+        if flight.charged:
+            self._lent -= flight.subtask.size
+            self._unsent_charged -= 1
+            if self._unsent_charged == 0:
+                # All lent credit is back; snap away any float drift
+                # from mixed partition sizes so `credit == capacity`
+                # stays exact.
+                self._lent = 0.0
         if self._obs is not None:
             self._obs.credit_used.set(self._credit_used())
         self._kick()
 
-    def _finish(self, subtask: SubCommTask) -> None:
+    def _finish(self, flight: _Flight) -> None:
         """procedure FINISH: the chunk's synchronised data arrived."""
-        subtask.parent._on_subtask_finished(subtask)
+        if flight.cancelled:
+            return  # stale pre-crash attempt; the requeued copy owns completion
+        self._flights.pop(flight.subtask, None)
+        flight.subtask.parent._on_subtask_finished(flight.subtask)
+
+    # -- crash recovery -----------------------------------------------------
+
+    def pause(self) -> None:
+        """Stop launching partitions (the local worker is down)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        """Resume launching after :meth:`pause`."""
+        self._paused = False
+        self._kick()
+
+    def block_node(self, node: str) -> None:
+        """Park (rather than launch) partitions that depend on ``node``."""
+        self._blocked_nodes.add(node)
+
+    def unblock_node(self, node: str) -> None:
+        """Release partitions parked while ``node`` was down."""
+        self._blocked_nodes.discard(node)
+        released = self._parked.pop(node, [])
+        for entry in released:
+            heapq.heappush(self._queue, entry)
+        if self._obs is not None:
+            self._obs.queue_depth.set(len(self._queue))
+        if released:
+            self._kick()
+
+    def drain(
+        self,
+        node: Optional[str] = None,
+        keys: Optional[Iterable[Tuple[int, int, int]]] = None,
+    ) -> List[SubCommTask]:
+        """Cancel in-flight partitions that depend on dead ``node``.
+
+        Each cancelled partition's credit is refunded exactly once (the
+        flight ledger ignores any late callbacks from the underlying
+        transfer) and the subtask moves to ``CANCELLED`` — hand the
+        returned list to :meth:`requeue` to re-enqueue survivors at
+        their original priority.  ``keys`` restricts the drain to
+        specific ``(iteration, layer, chunk)`` keys (partitions whose
+        server-side state was lost), leaving durable ones in flight.
+        ``node=None`` drains every flight (this core's own worker died:
+        whatever it had in the air died with it).
+        """
+        key_set = None if keys is None else set(keys)
+        drained: List[SubCommTask] = []
+        for subtask, flight in list(self._flights.items()):
+            if flight.cancelled:
+                continue
+            chunk = subtask.chunk()
+            if node is not None and self.backend.chunk_targets(chunk) != node:
+                continue
+            if key_set is not None and chunk.key not in key_set:
+                continue
+            self._cancel(flight)
+            drained.append(subtask)
+        self.drained_subtasks += len(drained)
+        if self._obs is not None:
+            self._obs.credit_used.set(self._credit_used())
+        self.check_credit_invariant()
+        self._kick()
+        return drained
+
+    def requeue(self, subtasks: Sequence[SubCommTask]) -> None:
+        """Re-enqueue drained partitions at their original priority."""
+        for subtask in subtasks:
+            if subtask.state is not TaskState.CANCELLED:
+                raise SchedulerError(
+                    f"{subtask!r} requeued in state {subtask.state.value}, "
+                    "expected cancelled"
+                )
+            subtask.state = TaskState.READY
+            self._seq += 1
+            heapq.heappush(self._queue, (subtask.priority, self._seq, subtask))
+            self.requeued_subtasks += 1
+        if self._obs is not None:
+            self._obs.queue_depth.set(len(self._queue))
+        self.check_credit_invariant()
+        self._kick()
+
+    def _cancel(self, flight: _Flight) -> None:
+        flight.cancelled = True
+        self._flights.pop(flight.subtask, None)
+        if not flight.sent:
+            self._inflight -= 1
+            if flight.charged:
+                self._lent -= flight.subtask.size
+                self._unsent_charged -= 1
+                self.credit_refunded += flight.subtask.size
+                if self._unsent_charged == 0:
+                    self._lent = 0.0
+        flight.subtask.state = TaskState.CANCELLED
+
+    def check_credit_invariant(self) -> None:
+        """Assert credit conservation: lent bytes equal the sum over
+        charged, unsent, live flights — no leak, no double refund."""
+        expected = sum(
+            flight.subtask.size
+            for flight in self._flights.values()
+            if flight.charged and not flight.sent
+        )
+        if not math.isclose(self._lent, expected, rel_tol=1e-9, abs_tol=1e-6):
+            raise SchedulerError(
+                f"core {self.name} credit ledger out of balance: "
+                f"lent={self._lent!r}, in-flight charges={expected!r}"
+            )
 
     # -- introspection ------------------------------------------------------
 
@@ -325,6 +505,11 @@ class ByteSchedulerCore:
     def inflight(self) -> int:
         """Partitions handed to the network, not yet finished."""
         return self._inflight
+
+    @property
+    def parked(self) -> int:
+        """Ready partitions parked behind blocked (down) nodes."""
+        return sum(len(entries) for entries in self._parked.values())
 
     def __repr__(self) -> str:
         return (

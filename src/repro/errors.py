@@ -45,5 +45,20 @@ class SchedulerError(ReproError):
     """
 
 
+class TransferAbortedError(ReproError):
+    """A transfer exhausted its retry budget without being delivered.
+
+    Raised out of the simulation (via the failed ``delivered`` event)
+    unless a recovery handler claims the abort — the crash-recovery
+    manager does, for transfers addressed to a node it knows is down.
+    The ``message`` attribute carries the aborted
+    :class:`~repro.net.message.Message`.
+    """
+
+    def __init__(self, description: str, message: object = None) -> None:
+        super().__init__(description)
+        self.message = message
+
+
 class TuningError(ReproError):
     """An auto-tuning search was configured or used incorrectly."""

@@ -13,6 +13,7 @@ from repro.experiments import (
     figure10_12,
     figure13,
     figure14,
+    recovery,
     report,
     table1,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "coscheduling",
     "ablations",
     "faults",
+    "recovery",
     "tuned_knobs",
     "TUNED_KNOBS",
     "PAPER_SETUPS",

@@ -40,6 +40,10 @@ class FaultScenario:
     name: str
     plan_spec: str  # FaultPlan.parse grammar; '' = healthy
     retry_timeout: Optional[float] = None
+    #: Retransmission budget.  Exhausting it now *aborts* the transfer
+    #: (typed error) instead of silently waiting, so a scenario's budget
+    #: must be sized to the fault it is meant to ride out.
+    max_retries: Optional[int] = None
 
     def plan(self) -> Optional[FaultPlan]:
         if not self.plan_spec:
@@ -51,8 +55,17 @@ SCENARIOS: Tuple[FaultScenario, ...] = (
     FaultScenario("healthy", ""),
     FaultScenario("straggler", "straggler:w0@0.0-infx1.3"),
     FaultScenario("lossy", "loss:0.05;seed:2", retry_timeout=0.05),
-    FaultScenario("slow-uplink", "slowlink:w0.up@0.0-infx0.5", retry_timeout=0.05),
-    FaultScenario("blackout", "blackout:w0.up@0.1-0.18", retry_timeout=0.02),
+    # The degraded link is *permanent*: retransmitted copies only add
+    # load, so the budget must be deep enough that the last deadline
+    # outlasts the self-inflicted backlog instead of aborting the run.
+    FaultScenario(
+        "slow-uplink", "slowlink:w0.up@0.0-infx0.5", retry_timeout=0.05, max_retries=6
+    ),
+    # Six retries (20 ms doubling to 1.28 s) outlast the 80 ms dark
+    # window *and* the FIFO backlog that drains after it.
+    FaultScenario(
+        "blackout", "blackout:w0.up@0.1-0.18", retry_timeout=0.02, max_retries=6
+    ),
 )
 
 
@@ -88,6 +101,8 @@ def run(
             from dataclasses import replace
 
             base = replace(base, retry_timeout=scenario.retry_timeout)
+            if scenario.max_retries is not None:
+                base = replace(base, max_retries=scenario.max_retries)
         speeds: Dict[str, float] = {}
         robustness: Dict[str, Tuple[int, int]] = {}
         for kind, spec in (

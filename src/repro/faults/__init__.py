@@ -10,6 +10,7 @@ same faulted trajectory, byte for byte.
 
 from repro.faults.inject import apply_fault_plan, make_straggler_scale
 from repro.faults.plan import (
+    CrashFault,
     FaultPlan,
     LinkFault,
     StragglerFault,
@@ -19,6 +20,7 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "CrashFault",
     "FaultPlan",
     "LinkFault",
     "StragglerFault",

@@ -8,7 +8,11 @@ The injector is the only piece that knows where each fault kind lands:
   worker's engine;
 * transport faults wrap the remote links' transport in a
   :class:`~repro.net.transport.FaultyTransport` drawing from the plan's
-  seeded RNG.
+  seeded RNG;
+* crash faults stand up the recovery control plane — a
+  :class:`~repro.recovery.RecoveryManager` (liveness oracle, heartbeat
+  failure detector, drain/requeue + re-sync choreography) attached to
+  the job as ``job.recovery``.
 
 Injection happens once, after the substrate is built and before any
 iteration is constructed, so a faulted run replays identically.
@@ -71,6 +75,13 @@ def apply_fault_plan(job: "TrainingJob", plan: FaultPlan) -> None:
         _apply_to_fabric(job.fabric, plan, rng)
     else:
         _apply_to_collective(job.backend, plan, rng)
+
+    if plan.crashes:
+        from repro.recovery import RecoveryManager
+
+        manager = RecoveryManager(job, plan, spec=job.recovery_spec)
+        manager.install()
+        job.recovery = manager
 
 
 def _apply_to_fabric(fabric: Fabric, plan: FaultPlan, rng: random.Random) -> None:

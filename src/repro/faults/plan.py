@@ -30,6 +30,7 @@ Clauses are semicolon-separated:
 * ``blackout:<node>.<up|down|loop>@<start>-<end>``
 * ``loss:<probability>`` (optionally ``loss:<p>@<penalty_seconds>``)
 * ``delay:<probability>@<seconds>``
+* ``crash:<node>@<t>[+<restart_delay>]``
 * ``seed:<int>``
 """
 
@@ -37,11 +38,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 
 __all__ = [
+    "CrashFault",
     "LinkFault",
     "StragglerFault",
     "TransportFault",
@@ -102,6 +104,48 @@ class StragglerFault:
 
 
 @dataclass(frozen=True)
+class CrashFault:
+    """One node's process dies at ``time`` and optionally restarts.
+
+    The node may be a PS worker (``w0``), a PS server (``s0``), or an
+    all-reduce machine (``m0``).  ``restart_delay`` of ``None`` means
+    the process never comes back: the cluster must degrade to the
+    survivors.  With a restart, the process is running again at
+    ``time + restart_delay`` but its in-memory state is gone — recovery
+    (checkpoint + re-sync) happens on top of the restart.
+    """
+
+    node: str
+    time: float
+    restart_delay: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ConfigError(f"crash time must be >= 0, got {self.time!r}")
+        if not math.isfinite(self.time):
+            raise ConfigError("crash time must be finite")
+        if self.restart_delay is not None and (
+            self.restart_delay <= 0 or not math.isfinite(self.restart_delay)
+        ):
+            raise ConfigError(
+                f"restart delay must be a finite value > 0, "
+                f"got {self.restart_delay!r}"
+            )
+
+    @property
+    def restarts(self) -> bool:
+        """True when the process comes back after the crash."""
+        return self.restart_delay is not None
+
+    @property
+    def restart_time(self) -> float:
+        """Absolute restart time (``inf`` for a permanent crash)."""
+        if self.restart_delay is None:
+            return math.inf
+        return self.time + self.restart_delay
+
+
+@dataclass(frozen=True)
 class TransportFault:
     """Probabilistic per-message loss and delay at the transport layer.
 
@@ -141,7 +185,18 @@ class FaultPlan:
     link_faults: Tuple[LinkFault, ...] = ()
     stragglers: Tuple[StragglerFault, ...] = ()
     transport: TransportFault = field(default_factory=TransportFault)
+    crashes: Tuple[CrashFault, ...] = ()
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for crash in self.crashes:
+            if crash.node in seen:
+                raise ConfigError(
+                    f"node {crash.node!r} crashes more than once; one "
+                    "crash per node per plan"
+                )
+            seen.add(crash.node)
 
     @property
     def empty(self) -> bool:
@@ -149,8 +204,16 @@ class FaultPlan:
         return (
             not self.link_faults
             and not self.stragglers
+            and not self.crashes
             and not self.transport.active
         )
+
+    def crash_for(self, node: str) -> Optional[CrashFault]:
+        """The crash scheduled for ``node``, if any."""
+        for crash in self.crashes:
+            if crash.node == node:
+                return crash
+        return None
 
     def link_windows(self, node: str, direction: str) -> Tuple[Tuple[float, float, float], ...]:
         """Merged ``(start, end, factor)`` windows for one link."""
@@ -189,6 +252,14 @@ class FaultPlan:
                 f"link {fault.node}.{fault.direction} {kind} "
                 f"[{fault.start:g}, {fault.end:g})"
             )
+        for crash in self.crashes:
+            if crash.restarts:
+                parts.append(
+                    f"crash {crash.node} @{crash.time:g} "
+                    f"(restart +{crash.restart_delay:g})"
+                )
+            else:
+                parts.append(f"crash {crash.node} @{crash.time:g} (permanent)")
         if self.transport.loss_probability:
             parts.append(f"loss p={self.transport.loss_probability:g}")
         if self.transport.delay_probability:
@@ -207,6 +278,7 @@ class FaultPlan:
         """Parse the compact ``--fault-plan`` grammar (see module doc)."""
         link_faults: List[LinkFault] = []
         stragglers: List[StragglerFault] = []
+        crashes: List[CrashFault] = []
         transport = TransportFault()
         seed = 0
         for raw in spec.split(";"):
@@ -237,6 +309,15 @@ class FaultPlan:
                 else:
                     (start, end), factor = _parse_window(window, clause, factor=True)
                     link_faults.append(LinkFault(node, direction, start, end, factor))
+            elif kind == "crash":
+                target, window = _split_at(body, clause)
+                time_text, sep, delay_text = window.partition("+")
+                if not time_text:
+                    raise ConfigError(
+                        f"{clause!r}: expected crash:<node>@<t>[+<restart_delay>]"
+                    )
+                restart_delay = float(delay_text) if sep else None
+                crashes.append(CrashFault(target, float(time_text), restart_delay))
             elif kind == "loss":
                 prob, _, penalty = body.partition("@")
                 transport = replace(
@@ -263,6 +344,7 @@ class FaultPlan:
             link_faults=tuple(link_faults),
             stragglers=tuple(stragglers),
             transport=transport,
+            crashes=tuple(crashes),
             seed=seed,
         )
 

@@ -32,10 +32,14 @@ class DeclarativeEngine(Engine):
         deps = op.dep_events()
         if deps:
             yield self.env.all_of(deps)
+        if self.halted:
+            return  # the worker died; op.done never fires
         op.started_at = self.env.now
         if op.kind is OpKind.COMPUTE:
             with self.gpu.request(priority=op.seq) as grant:
                 yield grant
+                if self.halted:
+                    return
                 op.started_at = self.env.now
                 yield from self._run_op_body(op)
         else:

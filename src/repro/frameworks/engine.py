@@ -117,6 +117,18 @@ class Engine:
         #: Fault-plan hook: maps (now, duration) -> effective duration
         #: for COMPUTE ops (straggler injection).  None = healthy.
         self.compute_scale: Optional[Callable[[float, float], float]] = None
+        #: True once the worker's process died permanently: pending and
+        #: future ops are abandoned (their ``done`` never fires).
+        self.halted = False
+
+    def halt(self) -> None:
+        """Permanently stop executing ops (the worker crashed for good).
+
+        Ops already finished stay finished; anything pending is
+        abandoned — the surviving cluster must not depend on it (the
+        recovery layer excuses this worker from barriers/countdowns).
+        """
+        self.halted = True
 
     def post(self, op: EngineOp) -> EngineOp:
         """Accept ``op`` for execution; returns it with ``done`` set."""

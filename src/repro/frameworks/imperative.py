@@ -33,6 +33,8 @@ class ImperativeEngine(Engine):
     def _run(self):
         while True:
             op: EngineOp = yield self._program.get()
+            if self.halted:
+                continue  # the worker died; drain without executing
             op.started_at = self.env.now
             if op.kind is OpKind.COMM:
                 # Launch asynchronously; the driver moves straight on.

@@ -63,6 +63,10 @@ class Fabric:
         #: Switch + propagation latency added at the cut-through hop.
         self.hop_latency = hop_latency
         self.trace = trace
+        #: Optional node-liveness oracle (``node -> bool``, True = up).
+        self._is_up = None
+        #: Messages dropped because an endpoint was down.
+        self.dropped = 0
         self.nics: Dict[str, DuplexNIC] = {}
         self._loopbacks: Dict[str, Link] = {}
         self._local_transport = local_transport or LocalTransport()
@@ -98,6 +102,29 @@ class Fabric:
         """The intra-node loopback link of ``node``."""
         return self._loopbacks[node]
 
+    def set_liveness(self, is_up) -> None:
+        """Install a node-liveness oracle (``node -> bool``, True = up).
+
+        While a node is down, messages touching it are silently dropped
+        (a ``drop`` trace point is recorded): a transfer submitted from
+        a dead source never enters the network, a message crossing the
+        wire when its sender dies is cut off, and one arriving at a
+        dead destination is discarded.  Dropped transfers leave their
+        handle events untriggered — retry/abort machinery above decides
+        what happens next.
+        """
+        self._is_up = is_up
+
+    def _node_up(self, node: str) -> bool:
+        return self._is_up is None or self._is_up(node)
+
+    def _drop(self, message: Message, where: str) -> None:
+        self.dropped += 1
+        if self.trace is not None:
+            self.trace.point(
+                "drop", f"{message.kind}:{message.src}->{message.dst}@{where}"
+            )
+
     def transfer(self, message: Message) -> TransferHandle:
         """Move ``message`` from its src to its dst.
 
@@ -112,6 +139,9 @@ class Fabric:
             raise KeyError(f"unknown destination node {message.dst!r}")
 
         delivered = self.env.event()
+        if not self._node_up(message.src):
+            self._drop(message, "src")
+            return TransferHandle(sent=self.env.event(), delivered=delivered)
         if message.src == message.dst:
             hop = self._loopbacks[message.src].transmit(message)
             hop.callbacks.append(lambda _evt: delivered.succeed(message))
@@ -120,14 +150,25 @@ class Fabric:
         uplink = self.nics[message.src].uplink
         downlink = self.nics[message.dst].downlink
 
+        def _deliver(_evt: Event) -> None:
+            if not self._node_up(message.dst):
+                self._drop(message, "dst")
+                return
+            delivered.succeed(message)
+
         def _after_uplink(_evt: Event) -> None:
+            if not self._node_up(message.src) or not self._node_up(message.dst):
+                # The sender died mid-serialisation or the receiver is
+                # already gone: the bytes never make it off the wire.
+                self._drop(message, "wire")
+                return
             # The switch cuts the message through: bytes streamed into
             # the destination while the uplink serialised them, so an
             # idle downlink delivers just one hop latency later.
             hop2 = downlink.transmit_cut_through(
                 message, available_at=self.env.now + self.hop_latency
             )
-            hop2.callbacks.append(lambda _e: delivered.succeed(message))
+            hop2.callbacks.append(_deliver)
 
         sent = uplink.transmit(message)
         sent.callbacks.append(_after_uplink)

@@ -40,6 +40,9 @@ class RunReport:
     scheduler_stats: Dict[str, float] = field(default_factory=dict)
     #: Backend robustness counters (transfer timeouts / retries).
     robustness: Dict[str, int] = field(default_factory=dict)
+    #: Crash-recovery accounting (empty when the plan has no crashes):
+    #: recovery time, replayed iterations, lost work, re-sync bytes.
+    recovery: Dict[str, float] = field(default_factory=dict)
     #: Per-link byte/busy totals (PS fabric only).
     links: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Per-iteration samples from the metrics registry, when enabled.
@@ -83,6 +86,9 @@ def build_run_report(job, result) -> RunReport:
         "tasks_enqueued": 0,
         "preemption_opportunities": 0,
         "escape_starts": 0,
+        "drained_subtasks": 0,
+        "requeued_subtasks": 0,
+        "credit_refunded": 0.0,
     }
     for core in job.cores.values():
         if id(core) in seen:
@@ -129,7 +135,16 @@ def build_run_report(job, result) -> RunReport:
         robustness={
             "timeouts": int(getattr(job.backend, "timeouts", 0)),
             "retries": int(getattr(job.backend, "retries", 0)),
+            "aborts": int(getattr(job.backend, "aborts", 0)),
+            "dropped": (
+                int(job.fabric.dropped) if job.fabric is not None else 0
+            ),
         },
+        recovery=(
+            job.recovery.stats()
+            if getattr(job, "recovery", None) is not None
+            else {}
+        ),
         links=links,
         iterations=iteration_samples,
         metrics=metrics_dump,

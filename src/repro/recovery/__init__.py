@@ -1,0 +1,21 @@
+"""Crash-fault tolerance: liveness, failure detection, state re-sync.
+
+The recovery layer sits above the scheduler and the communication
+backends.  :class:`NodeLiveness` is the ground-truth up/down oracle a
+fault plan's crash clauses define; :class:`FailureDetector` infers
+crashes from missed heartbeats the way a real control plane does; and
+:class:`RecoveryManager` choreographs drain/requeue, state re-sync and
+barrier excusal so a crashed node costs bounded rework instead of a
+deadlocked run.
+"""
+
+from repro.recovery.detector import FailureDetector
+from repro.recovery.liveness import NodeLiveness
+from repro.recovery.manager import RecoveryManager, RecoverySpec
+
+__all__ = [
+    "FailureDetector",
+    "NodeLiveness",
+    "RecoveryManager",
+    "RecoverySpec",
+]

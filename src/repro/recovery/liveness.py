@@ -1,0 +1,68 @@
+"""Ground-truth node liveness for crash-fault injection.
+
+A :class:`CrashFault` declares *when* a node's process dies and (maybe)
+comes back; :class:`NodeLiveness` turns that declarative plan into the
+oracle the rest of the stack consults — the fabric drops messages that
+touch a down node, and the failure detector's heartbeats go unanswered
+while the node is down.
+
+Because crash times are fixed up front, liveness is pure arithmetic on
+``env.now``: no events are scheduled, so an otherwise idle simulation
+still terminates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.sim import Environment
+
+__all__ = ["NodeLiveness"]
+
+
+class NodeLiveness:
+    """Per-node up/down windows, queried against simulated time.
+
+    Each node may have at most one down window ``[start, end)`` (one
+    crash per node per plan — matching
+    :class:`~repro.faults.plan.FaultPlan`); ``end`` is ``inf`` for a
+    permanent crash.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._windows: Dict[str, Tuple[float, float]] = {}
+
+    def add_window(self, node: str, start: float, end: float) -> None:
+        """Declare that ``node`` is down during ``[start, end)``."""
+        if node in self._windows:
+            raise ConfigError(f"node {node!r} already has a crash window")
+        if not start < end:
+            raise ConfigError(
+                f"crash window for {node!r} is empty: [{start}, {end})"
+            )
+        self._windows[node] = (start, end)
+
+    def is_up(self, node: str) -> bool:
+        """True unless ``env.now`` falls inside the node's down window."""
+        window = self._windows.get(node)
+        if window is None:
+            return True
+        start, end = window
+        return not (start <= self.env.now < end)
+
+    def down_window(self, node: str) -> Optional[Tuple[float, float]]:
+        """The node's ``(start, end)`` down window, if any."""
+        return self._windows.get(node)
+
+    def is_permanent(self, node: str) -> bool:
+        """True when the node's crash has no scheduled restart."""
+        window = self._windows.get(node)
+        return window is not None and math.isinf(window[1])
+
+    @property
+    def watched(self) -> Tuple[str, ...]:
+        """Nodes with a crash window, in deterministic (sorted) order."""
+        return tuple(sorted(self._windows))

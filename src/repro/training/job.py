@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigError
 from repro.frameworks import EngineOp, OpKind, make_engine
@@ -50,11 +50,19 @@ class TrainingJob:
         shared_fabric=None,
         fault_plan=None,
         metrics=None,
+        recovery_spec=None,
     ) -> None:
         self.model = model
         self.cluster = cluster
         self.scheduler = scheduler
         self.fault_plan = fault_plan
+        #: Optional :class:`repro.recovery.RecoverySpec` tuning the
+        #: crash control plane; the injector reads it when the fault
+        #: plan contains crash clauses.
+        self.recovery_spec = recovery_spec
+        #: The :class:`repro.recovery.RecoveryManager`, if the fault
+        #: plan scheduled any crashes (set by apply_fault_plan).
+        self.recovery = None
         #: Optional :class:`repro.obs.MetricsRegistry`; None keeps every
         #: instrumented hot path at a single attribute check.
         self.metrics = metrics
@@ -89,9 +97,22 @@ class TrainingJob:
             )
             for worker in self.workers
         }
+        for worker, adapter in self.adapters.items():
+            # Countdown-party label: distinct per worker even in
+            # collective mode (where ``adapter.worker`` is None), so a
+            # crashed machine can be excused from gradient countdowns.
+            adapter.party = worker
         self._markers: Dict[str, List[float]] = {worker: [] for worker in self.workers}
         self._built_iterations = 0
         self._jitter_rng = random.Random(cluster.seed)
+        #: Workers that crashed permanently mid-run: excluded from
+        #: barriers, countdowns, and completion accounting.
+        self._dead_workers: Set[str] = set()
+        #: Every gradient countdown built so far (a late permanent
+        #: crash must excuse its worker from all of them).
+        self._countdowns: List[ReadyCountdown] = []
+        #: Outstanding per-iteration sampling gates (see _worker_done).
+        self._pending_samples: List[Dict] = []
         if fault_plan is not None:
             from repro.faults import apply_fault_plan
 
@@ -213,11 +234,15 @@ class TrainingJob:
                     iteration, layer.index, layer.param_bytes
                 )
                 tasks[(layer.index, None)] = task
-                countdowns[(layer.index, None)] = ReadyCountdown(
-                    task, len(self.workers)
-                )
+                countdown = ReadyCountdown(task, len(self.workers))
+                for dead in sorted(self._dead_workers):
+                    countdown.mark_absent(dead)
+                countdowns[(layer.index, None)] = countdown
+                self._countdowns.append(countdown)
         else:
             for worker in self.workers:
+                if worker in self._dead_workers:
+                    continue
                 for layer in model.layers:
                     # The vanilla framework cannot slice row-sparse
                     # tensors; ByteScheduler partitions everything.
@@ -231,11 +256,22 @@ class TrainingJob:
                     tasks[(layer.index, worker)] = task
                     countdowns[(layer.index, worker)] = ReadyCountdown(task, 1)
 
-        # Per-iteration metric sampling fires once ALL workers complete
-        # the iteration (stragglers finish last; see TrainingResult).
-        pending = {"count": len(self.workers)} if self.metrics is not None else None
+        # Per-iteration metric sampling fires once all *live* workers
+        # complete the iteration (stragglers finish last; a worker that
+        # later dies permanently is excused — see mark_worker_dead).
+        pending = None
+        if self.metrics is not None:
+            pending = {
+                "iteration": iteration,
+                "waiting": {
+                    w for w in self.workers if w not in self._dead_workers
+                },
+            }
+            self._pending_samples.append(pending)
 
         for worker in self.workers:
+            if worker in self._dead_workers:
+                continue
             engine = self.engines[worker]
             adapter = self.adapters[worker]
             task_key = (lambda i: (i, None)) if self.backend.is_collective else (
@@ -290,13 +326,38 @@ class TrainingJob:
             )
             if pending is not None:
                 first_bp.done.callbacks.append(
-                    lambda _evt, it=iteration, p=pending: self._worker_done(it, p)
+                    lambda _evt, w=worker, p=pending: self._worker_done(w, p)
                 )
 
-    def _worker_done(self, iteration: int, pending: Dict[str, int]) -> None:
-        pending["count"] -= 1
-        if pending["count"] == 0:
-            self._sample_iteration(iteration)
+    def _worker_done(self, worker: str, pending: Dict) -> None:
+        pending["waiting"].discard(worker)
+        if not pending["waiting"]:
+            if pending in self._pending_samples:
+                self._pending_samples.remove(pending)
+            self._sample_iteration(pending["iteration"])
+
+    def mark_worker_dead(self, worker: str) -> None:
+        """Permanently remove ``worker`` from the job (crash recovery).
+
+        Its engine halts (pending ops abandoned), every gradient
+        countdown excuses it, and completion accounting — iteration
+        sampling, :meth:`drain`'s deadlock check, the final
+        :class:`TrainingResult` — stops expecting it.
+        """
+        if worker not in self.engines:
+            raise ConfigError(f"unknown worker {worker!r}")
+        if worker in self._dead_workers:
+            return
+        self._dead_workers.add(worker)
+        self.engines[worker].halt()
+        if self.backend.is_collective:
+            for countdown in self._countdowns:
+                countdown.mark_absent(worker)
+        for pending in list(self._pending_samples):
+            pending["waiting"].discard(worker)
+            if not pending["waiting"]:
+                self._pending_samples.remove(pending)
+                self._sample_iteration(pending["iteration"])
 
     def _sample_iteration(self, iteration: int) -> None:
         """Append one per-iteration metrics row: credit occupancy, queue
@@ -386,9 +447,15 @@ class TrainingJob:
             self._built_iterations += 1
 
     def drain(self) -> None:
-        """Run the simulation until all built iterations complete."""
+        """Run the simulation until all built iterations complete.
+
+        Workers that died permanently mid-run are excused — the
+        survivors completing every iteration is the success criterion.
+        """
         self.env.run()
         for worker, times in self._markers.items():
+            if worker in self._dead_workers:
+                continue
             if len(times) != self._built_iterations:
                 raise ConfigError(
                     f"worker {worker} completed {len(times)}/"
@@ -434,8 +501,14 @@ class TrainingJob:
             )
         self.extend(warmup + measure)
         self.drain()
+        if self._dead_workers and len(self._dead_workers) == len(self.workers):
+            raise ConfigError("every worker died; no survivors to measure")
         return TrainingResult(
-            markers=dict(self._markers),
+            markers={
+                worker: times
+                for worker, times in self._markers.items()
+                if worker not in self._dead_workers
+            },
             warmup=warmup,
             measured=measure,
             samples_per_iteration=self.samples_per_iteration,

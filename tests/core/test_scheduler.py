@@ -331,3 +331,155 @@ def test_float_drift_head_at_capacity_does_not_deadlock():
     env.run()
     assert whole.is_finished
     assert core.credit == 1.3
+
+
+# -- crash recovery: drain / requeue / blocked nodes -------------------------
+
+
+class TargetedBackend(ManualBackend):
+    """ManualBackend whose chunks target a server chosen by layer parity."""
+
+    def chunk_targets(self, chunk):
+        return "s0" if chunk.layer % 2 == 0 else "s1"
+
+
+def test_drain_refunds_credit_and_cancels_only_the_dead_nodes_flights():
+    env = Environment()
+    core, backend = make_core(
+        env, backend=TargetedBackend(env), credit_bytes=200.0
+    )
+    to_s0 = core.create_task(0, 0, 80.0)
+    to_s1 = core.create_task(0, 1, 60.0)
+    to_s0.notify_ready()
+    to_s1.notify_ready()
+    env.run()
+    assert len(backend.started) == 2
+    assert core.credit == pytest.approx(60.0)
+
+    drained = core.drain("s0")
+    assert [sub.parent.layer for sub in drained] == [0]
+    from repro.core.commtask import TaskState
+
+    assert drained[0].state is TaskState.CANCELLED
+    # The 80-byte flight's credit came back; s1's 60 stays lent.
+    assert core.credit == pytest.approx(140.0)
+    assert core.drained_subtasks == 1
+    assert core.credit_refunded == pytest.approx(80.0)
+    core.check_credit_invariant()
+
+
+def test_requeue_restores_original_priority():
+    env = Environment()
+    core, backend = make_core(
+        env, backend=TargetedBackend(env), credit_bytes=80.0
+    )
+    urgent = core.create_task(0, 0, 80.0)  # layer 0 -> s0, highest priority
+    urgent.notify_ready()
+    env.run()
+    drained = core.drain("s0")
+    # A later, lower-priority task arrives while s0's work is parked.
+    laggard = core.create_task(0, 2, 80.0)
+    laggard.notify_ready()
+    core.requeue(drained)
+    env.run()
+    # The requeued layer-0 partition outranks the fresh layer-2 one.
+    assert backend.start_order() == [(0, 0), (0, 0)]
+    backend.complete(1)  # the replayed copy finishes, freeing credit
+    env.run()
+    assert backend.start_order() == [(0, 0), (0, 0), (2, 0)]
+    core.check_credit_invariant()
+
+
+def test_requeue_rejects_uncancelled_subtasks():
+    env = Environment()
+    core, backend = make_core(env, credit_bytes=100.0)
+    task = core.create_task(0, 0, 50.0)
+    with pytest.raises(SchedulerError, match="expected cancelled"):
+        core.requeue(task.subtasks)
+
+
+def test_cancelled_flights_ignore_late_completions():
+    """A transfer that 'completes' after its flight was cancelled (the
+    network delivered a copy the scheduler gave up on) must not finish
+    the subtask or double-refund credit."""
+    env = Environment()
+    core, backend = make_core(
+        env, backend=TargetedBackend(env), credit_bytes=100.0
+    )
+    task = core.create_task(0, 0, 70.0)
+    task.notify_ready()
+    env.run()
+    drained = core.drain("s0")
+    assert core.credit == pytest.approx(100.0)
+    backend.complete()  # the stale handle event fires anyway
+    env.run()
+    assert not task.is_finished
+    assert core.credit == pytest.approx(100.0)  # no double refund
+    core.check_credit_invariant()
+    core.requeue(drained)
+    env.run()
+    backend.complete(0)  # the replayed copy
+    env.run()
+    assert task.is_finished
+
+
+def test_block_node_parks_queue_heads_until_unblock():
+    env = Environment()
+    core, backend = make_core(
+        env, backend=TargetedBackend(env), credit_bytes=500.0
+    )
+    core.block_node("s0")
+    blocked = core.create_task(0, 0, 50.0)   # targets s0
+    flowing = core.create_task(0, 1, 50.0)   # targets s1
+    blocked.notify_ready()
+    flowing.notify_ready()
+    env.run()
+    # s0's partition parked without blocking s1's behind it.
+    assert backend.start_order() == [(1, 0)]
+    assert core.parked == 1
+    core.unblock_node("s0")
+    env.run()
+    assert backend.start_order() == [(1, 0), (0, 0)]
+    assert core.parked == 0
+    core.check_credit_invariant()
+
+
+def test_reconfigure_while_over_lent_clamps_and_recovers():
+    """Shrinking the credit window below what is already in flight must
+    clamp available credit to zero (never negative) and resume normal
+    admission once enough refunds arrive — with mixed partition sizes
+    in flight (the case that used to push the ledger negative)."""
+    env = Environment()
+    core, backend = make_core(
+        env,
+        credit_bytes=200.0,
+        partition_overrides={0: 80.0, 1: 80.0},
+    )
+    small = core.create_task(0, 0, 80.0)
+    mixed = core.create_task(0, 1, 120.0)  # even split: 60 + 60
+    small.notify_ready()
+    mixed.notify_ready()
+    env.run()
+    assert len(backend.started) == 3  # 80 + 60 + 60 = 200 lent
+    core.reconfigure(credit_bytes=50.0)
+    assert core.credit == 0.0  # clamped, not -150
+    late = core.create_task(0, 2, 40.0)
+    late.notify_ready()
+    env.run()
+    assert len(backend.started) == 3  # over-lent: nothing new admitted
+    backend.complete(0)  # refund 80 -> lent 120, still over
+    env.run()
+    assert core.credit == 0.0
+    assert len(backend.started) == 3
+    backend.complete(0)  # refund 60 -> lent 60, still over
+    env.run()
+    assert core.credit == 0.0
+    assert len(backend.started) == 3
+    backend.complete(0)  # refund 60 -> lent 0 -> credit 50
+    env.run()
+    assert len(backend.started) == 4  # the 40-byte partition admitted
+    core.check_credit_invariant()
+    backend.complete(0)
+    env.run()
+    assert late.is_finished
+    assert core.credit == pytest.approx(50.0)

@@ -5,6 +5,7 @@ import pytest
 from repro.comm.base import RetryPolicy
 from repro.comm.ps import PSBackend
 from repro.comm.base import ChunkSpec
+from repro.errors import TransferAbortedError
 from repro.faults import FaultPlan
 from repro.net import Fabric, Transport
 from repro.sim import Environment, Trace
@@ -80,7 +81,7 @@ def test_first_copy_wins_only_once():
     env = Environment()
     policy = RetryPolicy(timeout=0.1, max_retries=2, backoff=1.0)
     fabric, backend = make_ps(env, retry=policy)
-    fabric.nic("w0").uplink.set_fault_windows(((0.0, 0.5, 0.0),))
+    fabric.nic("w0").uplink.set_fault_windows(((0.0, 0.15, 0.0),))
     fired = []
     handle = backend.start_chunk(ChunkSpec(0, 0, 0, 1, 10.0, worker="w0"))
     handle.done.callbacks.append(lambda evt: fired.append(evt.env.now))
@@ -91,17 +92,47 @@ def test_first_copy_wins_only_once():
     assert fabric.nic("w0").uplink.messages_sent == 3
 
 
-def test_exhausted_budget_still_delivers():
-    """Running out of retries degrades to waiting on the original copy."""
+def test_exhausted_budget_aborts_with_typed_error():
+    """A permanent blackout with finite retries must not hang the
+    waiter: the transfer aborts with a typed error, recorded as an
+    ``abort`` span, and the error surfaces out of ``env.run()``."""
+    env = Environment()
+    trace = Trace(env)
+    policy = RetryPolicy(timeout=0.15, max_retries=1, backoff=1.0)
+    fabric, backend = make_ps(env, retry=policy, trace=trace)
+    fabric.nic("w0").uplink.set_fault_windows(((0.0, 100.0, 0.0),))
+    handle = backend.start_chunk(ChunkSpec(0, 0, 0, 1, 10.0, worker="w0"))
+    with pytest.raises(TransferAbortedError) as excinfo:
+        env.run()
+    assert not handle.done.triggered
+    assert backend.timeouts == 2          # both attempts expired
+    assert backend.retries == 1           # one retransmission allowed
+    assert backend.aborts == 1
+    assert excinfo.value.message.kind == "push"
+    spans = list(trace.by_category("abort"))
+    assert len(spans) == 1
+    assert spans[0].name == "push:w0->s0"
+    assert dict(spans[0].meta)["attempts"] == 2
+
+
+def test_abort_claimed_by_recovery_handler_does_not_raise():
+    """A recovery manager that claims the abort suppresses the error
+    (it owns redoing the work for a node it knows is down)."""
     env = Environment()
     policy = RetryPolicy(timeout=0.15, max_retries=1, backoff=1.0)
     fabric, backend = make_ps(env, retry=policy)
-    fabric.nic("w0").uplink.set_fault_windows(((0.0, 5.0, 0.0),))
-    handle = backend.start_chunk(ChunkSpec(0, 0, 0, 1, 10.0, worker="w0"))
-    env.run()
-    assert handle.done.triggered
-    assert backend.timeouts == 2          # both attempts expired
-    assert backend.retries == 1           # but only one retransmission
+    fabric.nic("w0").uplink.set_fault_windows(((0.0, 100.0, 0.0),))
+    claimed = []
+
+    def on_abort(message, error):
+        claimed.append((message.kind, message.dst))
+        return True
+
+    backend.on_abort = on_abort
+    backend.start_chunk(ChunkSpec(0, 0, 0, 1, 10.0, worker="w0"))
+    env.run()  # must not raise
+    assert claimed == [("push", "s0")]
+    assert backend.aborts == 1
 
 
 def test_retry_config_flows_from_cluster_spec():

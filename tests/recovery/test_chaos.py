@@ -1,0 +1,108 @@
+"""Nightly chaos lane: property-based fault plans + randomized crashes.
+
+Everything here is marked ``slow`` and excluded from the fast PR lane
+(``pyproject.toml`` sets ``-m 'not slow'``); the nightly chaos workflow
+runs it with ``-m slow``.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.faults import CrashFault, FaultPlan
+from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+from repro.training.runner import resolve_model
+
+pytestmark = pytest.mark.slow
+
+# Times as integer centiseconds so ``%g`` formatting round-trips exactly.
+crash_times = st.integers(min_value=5, max_value=60).map(lambda n: n / 100)
+restart_delays = st.one_of(
+    st.none(), st.integers(min_value=5, max_value=40).map(lambda n: n / 100)
+)
+
+
+@given(
+    node=st.sampled_from(["s0", "s1", "w0", "w1", "m3"]),
+    time=crash_times,
+    delay=restart_delays,
+)
+@settings(max_examples=80, deadline=None)
+def test_crash_clause_grammar_round_trips(node, time, delay):
+    clause = f"crash:{node}@{time:g}"
+    if delay is not None:
+        clause += f"+{delay:g}"
+    plan = FaultPlan.parse(clause)
+    assert plan.crashes == (CrashFault(node, time, delay),)
+    # The parsed plan regenerates an equivalent spec.
+    crash = plan.crashes[0]
+    rebuilt = f"crash:{crash.node}@{crash.time:g}"
+    if crash.restarts:
+        rebuilt += f"+{crash.restart_delay:g}"
+    assert FaultPlan.parse(rebuilt) == plan
+    assert f"crash {node}" in plan.describe()
+
+
+@given(
+    node=st.sampled_from(["s0", "w1"]),
+    time=crash_times,
+    delay=restart_delays,
+)
+@settings(max_examples=40, deadline=None)
+def test_duplicate_crash_nodes_always_rejected(node, time, delay):
+    plan_spec = f"crash:{node}@{time:g};crash:{node}@{time + 1:g}"
+    if delay is not None:
+        plan_spec += f"+{delay:g}"
+    with pytest.raises(ConfigError, match="crashes more than once"):
+        FaultPlan.parse(plan_spec)
+
+
+@given(time=st.floats(max_value=-1e-6, allow_nan=False))
+@settings(max_examples=20, deadline=None)
+def test_negative_crash_times_always_rejected(time):
+    with pytest.raises(ConfigError, match="crash time"):
+        CrashFault("s0", time)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_randomized_crash_matrix_smoke(seed):
+    """Seeded random crashes across node kinds: every run must complete
+    without deadlock and with the credit ledger intact."""
+    rng = random.Random(seed)
+    arch = rng.choice(["ps", "allreduce"])
+    machines = rng.choice([2, 3])
+    nodes = (
+        [f"m{i}" for i in range(machines)]
+        if arch == "allreduce"
+        else [f"w{i}" for i in range(machines)]
+        + [f"s{i}" for i in range(machines)]
+    )
+    node = rng.choice(nodes)
+    time = round(rng.uniform(0.1, 0.5), 3)
+    restarts = machines == 2 or rng.random() < 0.5
+    clause = f"crash:{node}@{time:g}"
+    if restarts:
+        clause += f"+{round(rng.uniform(0.05, 0.3), 3):g}"
+
+    job = TrainingJob(
+        resolve_model("resnet50"),
+        ClusterSpec(machines=machines, gpus_per_machine=1, arch=arch),
+        SchedulerSpec(
+            kind="bytescheduler", partition_bytes=8e6, credit_bytes=32e6
+        ),
+        fault_plan=FaultPlan.parse(clause),
+    )
+    result = job.run(measure=4)
+    assert result.speed > 0
+    seen = set()
+    for core in job.cores.values():
+        if id(core) in seen:
+            continue
+        seen.add(id(core))
+        core.check_credit_invariant()
+    stats = job.recovery.stats()
+    assert stats["crashes"] == 1
+    assert stats["detected"] == 1

@@ -1,0 +1,59 @@
+"""Crash recovery is deterministic (satellite of the robustness PR).
+
+The same crash plan run twice must produce byte-identical traces and
+identical machine-readable run reports — recovery choreography adds no
+hidden nondeterminism (unordered dict walks, id()-keyed iteration,
+wall-clock reads).
+"""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.obs import MetricsRegistry, build_run_report
+from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+from repro.training.runner import resolve_model
+
+PLANS = [
+    "crash:s0@0.2+0.1",     # server crash + restart
+    "crash:w1@0.15+0.1",    # worker crash + restart
+    "crash:s0@0.25",        # permanent server crash (remap)
+]
+
+
+def _crashed_run(plan_spec):
+    """One traced, metered crashed run → (spans, points, report)."""
+    job = TrainingJob(
+        resolve_model("resnet50"),
+        ClusterSpec(machines=2, gpus_per_machine=1),
+        SchedulerSpec(
+            kind="bytescheduler", partition_bytes=8e6, credit_bytes=32e6
+        ),
+        fault_plan=FaultPlan.parse(plan_spec),
+        enable_trace=True,
+        metrics=MetricsRegistry(),
+    )
+    result = job.run(measure=3)
+    return job.trace.spans, job.trace.points, build_run_report(job, result)
+
+
+@pytest.mark.parametrize("plan_spec", PLANS)
+def test_same_crash_plan_twice_is_byte_identical(plan_spec):
+    spans_a, points_a, report_a = _crashed_run(plan_spec)
+    spans_b, points_b, report_b = _crashed_run(plan_spec)
+    assert points_a == points_b
+    assert spans_a == spans_b
+    # Byte-identical, not merely approximately equal.
+    assert repr(spans_a) == repr(spans_b)
+    assert report_a.to_json() == report_b.to_json()
+
+
+def test_crash_trace_records_the_full_lifecycle():
+    spans, points, report = _crashed_run("crash:s0@0.2+0.1")
+    kinds = {(category, name) for _t, category, name in points}
+    assert ("crash", "s0") in kinds
+    assert ("restart", "s0") in kinds
+    assert ("detector.dead", "s0") in kinds
+    assert ("detector.recovered", "s0") in kinds
+    recovery_spans = [span for span in spans if span.category == "recovery"]
+    assert len(recovery_spans) == 1
+    assert report.recovery["recoveries"] == 1

@@ -1,0 +1,153 @@
+"""End-to-end crash recovery on built training jobs.
+
+The acceptance bar for the whole subsystem: a run that loses a node
+mid-training must converge to the *same final parameter state* as the
+fault-free run, with the recovery cost visible in the stats.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+from repro.recovery import RecoverySpec
+from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+from repro.training.runner import resolve_model
+
+
+def make_job(arch="ps", fault_plan=None, machines=2, **job_kwargs):
+    cluster = ClusterSpec(machines=machines, gpus_per_machine=1, arch=arch)
+    return TrainingJob(
+        resolve_model("resnet50"),
+        cluster,
+        SchedulerSpec(
+            kind="bytescheduler", partition_bytes=8e6, credit_bytes=32e6
+        ),
+        fault_plan=fault_plan,
+        **job_kwargs,
+    )
+
+
+def unique_cores(job):
+    seen = {}
+    for core in job.cores.values():
+        seen[id(core)] = core
+    return list(seen.values())
+
+
+def test_server_crash_and_restart_converges_to_fault_free_digest():
+    baseline = make_job()
+    baseline.run(measure=4)
+    digest = baseline.backend.sync_digest()
+
+    job = make_job(fault_plan=FaultPlan.parse("crash:s0@0.4+0.2"))
+    job.run(measure=4)
+
+    assert job.backend.sync_digest() == digest
+    stats = job.recovery.stats()
+    assert stats["crashes"] == 1
+    assert stats["detected"] == 1
+    assert stats["recoveries"] == 1
+    assert stats["recovery_time_total"] > 0.0
+    assert stats["replayed_subtasks"] > 0
+    assert stats["resync_bytes"] > 0.0
+    for core in unique_cores(job):
+        core.check_credit_invariant()
+        assert core.drained_subtasks == core.requeued_subtasks
+
+
+def test_recovery_lands_in_the_run_report():
+    from repro.obs import MetricsRegistry, build_run_report
+
+    job = make_job(
+        fault_plan=FaultPlan.parse("crash:s0@0.4+0.2"),
+        metrics=MetricsRegistry(),
+    )
+    result = job.run(measure=4)
+    report = build_run_report(job, result)
+    assert report.recovery["crashes"] == 1
+    assert report.recovery["recovery_time_total"] > 0.0
+    assert report.scheduler_stats["drained_subtasks"] > 0
+    assert report.scheduler_stats["requeued_subtasks"] > 0
+    assert report.scheduler_stats["credit_refunded"] > 0.0
+
+
+def test_checkpoint_interval_bounds_resync_volume():
+    def resync_bytes(interval):
+        job = make_job(
+            fault_plan=FaultPlan.parse("crash:s0@0.4+0.1"),
+            recovery_spec=RecoverySpec(checkpoint_interval=interval),
+        )
+        job.run(measure=4)
+        return job.recovery.stats()["resync_bytes"]
+
+    # Frequent snapshots leave fewer bytes to refetch after a restart.
+    assert resync_bytes(0.05) < resync_bytes(0.4)
+
+
+def test_server_permanent_crash_remaps_and_still_converges():
+    baseline = make_job()
+    baseline.run(measure=4)
+    digest = baseline.backend.sync_digest()
+
+    job = make_job(fault_plan=FaultPlan.parse("crash:s0@0.4"))
+    job.run(measure=4)
+    assert job.backend.sync_digest() == digest
+    stats = job.recovery.stats()
+    assert stats["permanent_failures"] == 1
+    assert stats["recoveries"] == 0
+    for core in unique_cores(job):
+        core.check_credit_invariant()
+
+
+def test_worker_crash_and_restart_completes_every_iteration():
+    job = make_job(fault_plan=FaultPlan.parse("crash:w1@0.3+0.2"))
+    result = job.run(measure=4)
+    assert set(result.markers) == {"w0", "w1"}
+    stats = job.recovery.stats()
+    assert stats["recoveries"] == 1
+    for core in unique_cores(job):
+        core.check_credit_invariant()
+
+
+def test_worker_permanent_crash_degrades_gracefully():
+    job = make_job(machines=3, fault_plan=FaultPlan.parse("crash:w2@0.3"))
+    result = job.run(measure=4)
+    # The survivors finish; the dead worker is excluded, not deadlocked.
+    assert set(result.markers) == {"w0", "w1"}
+    assert job.recovery.stats()["permanent_failures"] == 1
+
+
+def test_allreduce_machine_crash_and_restart_slows_but_completes():
+    healthy = make_job(arch="allreduce").run(measure=4)
+    job = make_job(
+        arch="allreduce", fault_plan=FaultPlan.parse("crash:m0@0.3+0.2")
+    )
+    crashed = job.run(measure=4)
+    assert set(crashed.markers) == {"m0", "m1"}
+    # The ring stalls for the down window, so the run cannot be faster.
+    assert crashed.speed < healthy.speed
+
+
+def test_allreduce_permanent_crash_reforms_the_ring():
+    job = make_job(
+        arch="allreduce", machines=3, fault_plan=FaultPlan.parse("crash:m2@0.3")
+    )
+    result = job.run(measure=4)
+    assert set(result.markers) == {"m0", "m1"}
+    assert job.recovery.stats()["permanent_failures"] == 1
+
+
+def test_unknown_crash_node_rejected():
+    with pytest.raises(ConfigError, match="unknown node"):
+        make_job(fault_plan=FaultPlan.parse("crash:nope@0.1+0.1"))
+
+
+def test_permanent_worker_crash_needs_survivors():
+    # machines=2 has two workers, so killing both's worth is the 1-worker
+    # cluster case: build one worker via allreduce machine check instead.
+    with pytest.raises(ConfigError, match=">= 2 machines"):
+        make_job(
+            arch="allreduce",
+            machines=1,
+            fault_plan=FaultPlan.parse("crash:m0@0.1"),
+        )
