@@ -1,0 +1,52 @@
+"""Kernel/scheduler microbenchmarks (the `repro bench` suite, as pytest).
+
+Unlike the figure benches one directory up, these time the simulator's
+hot paths directly: raw event throughput, scheduler queue pressure, and
+a small end-to-end run.  ``repro bench`` runs the same functions and
+writes ``BENCH_*.json``; this file makes them part of
+``pytest benchmarks/ -m slow`` and pins a floor well below any healthy
+host so only order-of-magnitude regressions fail here (the tight gate
+is the CI perf-smoke lane against ``benchmarks/perf/BASELINE.json``).
+
+Recorded on the development container (1 CPU, Python 3.11) for the
+kernel fast-path change:
+
+    benchmark              before        after         speedup
+    -------------------    ----------    ----------    -------
+    event_throughput       584,407/s     834,647/s     1.43x
+    scheduler_queue        124,421/s     136,680/s     1.10x
+    end_to_end             8.3 runs/s    9.8 runs/s    1.18x
+    figures 10-12 --fast   12.4 s        4.0 s         3.1x (warm cache)
+    reproduce all --fast   88.2 s        2.1 s         42x (warm cache)
+
+``benchmarks/perf/BENCH_sweep.json`` stores the full trajectory.
+"""
+
+from __future__ import annotations
+
+from repro.perf import (
+    bench_end_to_end,
+    bench_event_throughput,
+    bench_scheduler_queue,
+)
+
+
+def test_event_throughput(benchmark):
+    result = benchmark.pedantic(
+        bench_event_throughput, rounds=3, iterations=1
+    )
+    assert result["unit"] == "events/s"
+    # Sanity floor only — ~20x below the recorded container number.
+    assert result["value"] > 40_000
+
+
+def test_scheduler_queue(benchmark):
+    result = benchmark.pedantic(bench_scheduler_queue, rounds=3, iterations=1)
+    assert result["unit"] == "subtasks/s"
+    assert result["value"] > 6_000
+
+
+def test_end_to_end(benchmark):
+    result = benchmark.pedantic(bench_end_to_end, rounds=2, iterations=1)
+    assert result["unit"] == "runs/s"
+    assert result["value"] > 0.4

@@ -8,7 +8,11 @@ Five entry points, runnable as ``python -m repro ...``:
                   Chrome trace, per-iteration metrics, and JSON report.
 * ``tune``      — auto-tune (partition, credit) for a configuration.
 * ``reproduce`` — regenerate one of the paper's tables or figures
-                  (``--json-out`` for the machine-readable report).
+                  (``--json-out`` for the machine-readable report;
+                  ``--workers``/``--cache-dir`` parallelise and memoise
+                  the underlying trials).
+* ``bench``     — run the perf microbenchmarks, write ``BENCH_*.json``,
+                  optionally gate against a committed baseline.
 * ``trace``     — summarize an exported trace-event JSON file.
 * ``models``    — list the model zoo.
 """
@@ -97,6 +101,39 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--json-out", default=None, metavar="PATH",
                            help="for 'all': write the machine-readable "
                                 "section index as JSON")
+    reproduce.add_argument("--workers", type=int, default=None, metavar="N",
+                           help="fan independent trials out over N "
+                                "processes (results are bit-identical "
+                                "to the serial run)")
+    reproduce.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="memoise trial results on disk "
+                                "($REPRO_CACHE_DIR or "
+                                "~/.cache/repro/trials with no value); "
+                                "repeated sweep points become free")
+    reproduce.add_argument("--cache", action="store_true",
+                           help="shorthand for --cache-dir at its "
+                                "default location")
+
+    bench = commands.add_parser(
+        "bench", help="run perf microbenchmarks and write BENCH_*.json"
+    )
+    bench.add_argument("--out", default="BENCH_micro.json", metavar="PATH",
+                       help="where to write the results "
+                            "(default: BENCH_micro.json)")
+    bench.add_argument("--only", action="append", default=None,
+                       metavar="NAME",
+                       help="run just the named benchmark(s); repeatable")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="runs per benchmark; best is kept")
+    bench.add_argument("--sweep", action="store_true",
+                       help="also time a mini figure sweep end-to-end "
+                            "(serial vs cached)")
+    bench.add_argument("--check", default=None, metavar="BASELINE",
+                       help="compare against a baseline BENCH_*.json; "
+                            "exit 1 on regression")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       help="allowed fractional drop vs baseline "
+                            "(default 0.25)")
 
     trace = commands.add_parser(
         "trace", help="summarize an exported trace-event JSON file"
@@ -254,7 +291,16 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro import experiments as exp
+    from repro.experiments import parallel
 
+    cache_dir = args.cache_dir
+    if cache_dir is None and getattr(args, "cache", False):
+        cache_dir = parallel.default_cache_dir()
+    with parallel.session(workers=args.workers, cache_dir=cache_dir):
+        return _run_reproduce_target(args, exp)
+
+
+def _run_reproduce_target(args: argparse.Namespace, exp) -> int:
     fast = args.fast
     target = args.target
     if target == "figure2":
@@ -337,6 +383,50 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        MICROBENCHMARKS,
+        bench_sweep,
+        compare,
+        format_results,
+        load_bench,
+        run_suite,
+        write_bench,
+    )
+
+    benchmarks = dict(MICROBENCHMARKS)
+    if args.sweep:
+        benchmarks["sweep"] = bench_sweep
+    if args.only:
+        unknown = [name for name in args.only if name not in benchmarks]
+        if unknown:
+            print(
+                f"unknown benchmark(s): {', '.join(unknown)} "
+                f"(available: {', '.join(sorted(benchmarks))})",
+                file=sys.stderr,
+            )
+            return 2
+    payload = run_suite(benchmarks, repeats=args.repeats, only=args.only)
+    print(format_results(payload))
+    write_bench(payload, args.out)
+    print(f"results written to {args.out}")
+    if args.check:
+        try:
+            baseline = load_bench(args.check)
+        except (OSError, ValueError) as error:
+            print(f"cannot read baseline {args.check!r}: {error}",
+                  file=sys.stderr)
+            return 1
+        failures = compare(payload, baseline, threshold=args.threshold)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check} "
+              f"(threshold {args.threshold * 100:.0f}%)")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs import load_trace_file, summarize_trace
 
@@ -370,6 +460,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _cmd_run,
         "tune": _cmd_tune,
         "reproduce": _cmd_reproduce,
+        "bench": _cmd_bench,
         "trace": _cmd_trace,
         "models": _cmd_models,
     }

@@ -54,7 +54,6 @@ from repro.core.commtask import CommTask, SubCommTask, TaskState
 __all__ = ["ByteSchedulerCore", "PRIORITY_LAYER", "PRIORITY_FIFO"]
 
 
-@dataclass
 class _Flight:
     """Credit-ledger entry for one started partition.
 
@@ -64,10 +63,13 @@ class _Flight:
     requeued copy of the subtask owns completion from then on).
     """
 
-    subtask: SubCommTask
-    charged: bool
-    sent: bool = False
-    cancelled: bool = False
+    __slots__ = ("subtask", "charged", "sent", "cancelled")
+
+    def __init__(self, subtask: SubCommTask, charged: bool) -> None:
+        self.subtask = subtask
+        self.charged = charged
+        self.sent = False
+        self.cancelled = False
 
 
 @dataclass
@@ -295,7 +297,9 @@ class ByteSchedulerCore:
         if self._wakeup_pending or self._shutdown:
             return
         self._wakeup_pending = True
-        self.env.timeout(0.0).callbacks.append(self._wakeup)
+        # defer() takes the same slot in the event order a zero-delay
+        # timeout would, without allocating one.
+        self.env.defer(self._wakeup)
 
     def _wakeup(self, _evt) -> None:
         self._wakeup_pending = False
@@ -306,6 +310,14 @@ class ByteSchedulerCore:
         """procedure SCHEDULE: start queue heads while credit allows."""
         while self._queue and not self._paused:
             _priority, _seq, subtask = self._queue[0]
+            if subtask.state is not TaskState.READY:
+                # Lazy-deletion tombstone: the subtask was cancelled (or
+                # otherwise moved on) while queued; drop it now instead
+                # of having the canceller scan the heap.
+                heapq.heappop(self._queue)
+                if self._obs is not None:
+                    self._obs.queue_depth.set(len(self._queue))
+                continue
             if self._blocked_nodes:
                 target = self.backend.chunk_targets(subtask.chunk())
                 if target is not None and target in self._blocked_nodes:
@@ -353,15 +365,13 @@ class ByteSchedulerCore:
             lambda _evt, f=flight: self._after_delay(self._finish, f)
         )
 
-    def _after_delay(self, action, *args) -> None:
+    def _after_delay(self, action, flight: _Flight) -> None:
         """Apply the framework/stack notification delay before ``action``
         reaches the Core (zero by default)."""
         if self.notify_delay > 0:
-            self.env.timeout(self.notify_delay).callbacks.append(
-                lambda _evt: action(*args)
-            )
+            self.env.defer(action, flight, delay=self.notify_delay)
         else:
-            action(*args)
+            action(flight)
 
     def _on_sent(self, flight: _Flight) -> None:
         """The sender buffer is free again: return credit (§4.2)."""

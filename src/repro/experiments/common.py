@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.knobs import tuned_knobs
@@ -13,6 +14,7 @@ __all__ = [
     "Series",
     "format_table",
     "baseline_speed",
+    "bytescheduler_candidates",
     "bytescheduler_speed",
     "p3_speed",
     "PAPER_SETUPS",
@@ -71,6 +73,7 @@ def _cell(value: object) -> str:
     return str(value)
 
 
+@lru_cache(maxsize=None)
 def setup_cluster(
     framework: str,
     arch: str,
@@ -78,7 +81,12 @@ def setup_cluster(
     machines: int,
     bandwidth_gbps: float = 100.0,
 ) -> ClusterSpec:
-    """A paper-style cluster (8 GPUs per machine, PS count = workers)."""
+    """A paper-style cluster (8 GPUs per machine, PS count = workers).
+
+    Memoised — ClusterSpec is frozen, so sweep points that share a
+    setup share one instance instead of re-validating an identical
+    spec per point.
+    """
     return ClusterSpec(
         machines=machines,
         gpus_per_machine=8,
@@ -94,6 +102,28 @@ def baseline_speed(model: str, cluster: ClusterSpec, measure: int = 4) -> float:
     return run_experiment(model, cluster, SchedulerSpec(kind="fifo"), measure=measure).speed
 
 
+def bytescheduler_candidates(
+    model: str, cluster: ClusterSpec
+) -> List[Tuple[float, float]]:
+    """Candidate (partition, credit) knobs auto-tuning would evaluate.
+
+    For all-reduce, the optimal partition grows with the ring (its sync
+    cost is per collective), so the tuned 4-machine values are rescaled
+    over a small candidate set; "do not partition" is always on the
+    tuner's menu — when the per-collective sync cost dominates (small
+    models, huge rings), priority ordering alone is the best
+    configuration.
+    """
+    base = tuned_knobs(model, cluster.arch, cluster.transport, machines=4)
+    if cluster.arch != "allreduce":
+        return [base]
+    ratio = cluster.machines / 4.0
+    scales = sorted({1.0, ratio**0.5, ratio**0.75, ratio})
+    candidates = [(base[0] * s, base[1] * s) for s in scales]
+    candidates.append((float(4096 * MB), float(16384 * MB)))
+    return candidates
+
+
 def bytescheduler_speed(
     model: str,
     cluster: ClusterSpec,
@@ -102,26 +132,14 @@ def bytescheduler_speed(
 ) -> float:
     """ByteScheduler speed with tuned (or given) knobs.
 
-    For all-reduce, the optimal partition grows with the ring (its sync
-    cost is per collective), so when no explicit knobs are given the
-    tuned 4-machine values are rescaled over a small candidate set and
-    the best measured one is kept — the per-setup auto-tuning every
-    figure of the paper runs.
+    When no explicit knobs are given, every candidate from
+    :func:`bytescheduler_candidates` is measured and the best kept —
+    the per-setup auto-tuning every figure of the paper runs.
     """
     if knobs is not None:
         candidates = [knobs]
     else:
-        base = tuned_knobs(model, cluster.arch, cluster.transport, machines=4)
-        if cluster.arch == "allreduce":
-            ratio = cluster.machines / 4.0
-            scales = sorted({1.0, ratio**0.5, ratio**0.75, ratio})
-            candidates = [(base[0] * s, base[1] * s) for s in scales]
-            # "Do not partition" is always on the tuner's menu: when the
-            # per-collective sync cost dominates (small models, huge
-            # rings), priority ordering alone is the best configuration.
-            candidates.append((float(4096 * MB), float(16384 * MB)))
-        else:
-            candidates = [base]
+        candidates = bytescheduler_candidates(model, cluster)
     best = 0.0
     for partition, credit in candidates:
         spec = SchedulerSpec(

@@ -13,13 +13,10 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.experiments.common import (
     PAPER_SETUPS,
-    baseline_speed,
-    bytescheduler_speed,
     format_table,
-    p3_speed,
     setup_cluster,
 )
-from repro.training import linear_scaling_speed
+from repro.training import SchedulerSpec
 
 __all__ = ["SetupGrid", "ModelGrid", "run_model", "format_model_grid", "speedup_band"]
 
@@ -70,24 +67,97 @@ def run_model(
     measure: int = 4,
     include_p3: bool = True,
     p3_measure: int = 2,
+    workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> ModelGrid:
-    """Produce the full grid for one model (one paper figure)."""
-    grid = ModelGrid(model=model)
+    """Produce the full grid for one model (one paper figure).
+
+    Every point of the grid is an independent trial, so the whole
+    figure is expanded into one flat trial list and executed through
+    :func:`repro.experiments.parallel.run_trials` — serially by
+    default, over a process pool with ``workers``, memoised with
+    ``cache_dir`` (both fall back to the active parallel session).
+    The assembled numbers are identical on every path.
+    """
+    from dataclasses import replace
+
+    from repro.experiments import parallel as par
+    from repro.experiments.common import bytescheduler_candidates
+
+    if workers is None:
+        workers = par.active_workers()
+    cache = par.ResultCache(cache_dir) if cache_dir is not None else par.active_cache()
+
+    fifo = SchedulerSpec(kind="fifo")
+    specs: List[par.TrialSpec] = []
+
+    def add(cluster, scheduler, trial_measure, trial_warmup=2) -> int:
+        specs.append(
+            par.TrialSpec(
+                model=model,
+                cluster=cluster,
+                scheduler=scheduler,
+                measure=trial_measure,
+                warmup=trial_warmup,
+            )
+        )
+        return len(specs) - 1
+
+    # Expansion pass: record which trial indices feed which cell.
+    plan = []
     for framework, arch, transport in setups:
-        subplot = SetupGrid(framework=framework, arch=arch, transport=transport)
         wants_p3 = include_p3 and (framework, arch, transport) == P3_SETUP
-        if wants_p3:
-            subplot.p3 = []
+        points = []
         for machines in machines_list:
             cluster = setup_cluster(framework, arch, transport, machines)
-            subplot.gpus.append(cluster.num_gpus)
-            subplot.baseline.append(baseline_speed(model, cluster, measure=measure))
-            subplot.bytescheduler.append(
-                bytescheduler_speed(model, cluster, measure=measure)
+            single = replace(
+                cluster, machines=1, num_servers=None, arch="allreduce"
             )
-            subplot.linear.append(linear_scaling_speed(model, cluster))
+            point = {
+                "gpus": cluster.num_gpus,
+                "machines": machines,
+                "baseline": add(cluster, fifo, measure),
+                "bytescheduler": [
+                    add(
+                        cluster,
+                        SchedulerSpec(
+                            kind="bytescheduler",
+                            partition_bytes=partition,
+                            credit_bytes=credit,
+                        ),
+                        measure,
+                    )
+                    for partition, credit in bytescheduler_candidates(
+                        model, cluster
+                    )
+                ],
+                # linear_scaling_speed's reference run, deduplicated by
+                # the cache across scale points (it is scale-invariant).
+                "linear": add(single, fifo, 6),
+                "p3": add(cluster, SchedulerSpec(kind="p3"), p3_measure)
+                if wants_p3
+                else None,
+            }
+            points.append(point)
+        plan.append(((framework, arch, transport), wants_p3, points))
+
+    payloads = par.run_trials(specs, workers=workers, cache=cache)
+    speeds = [par.result_from_payload(payload).speed for payload in payloads]
+
+    grid = ModelGrid(model=model)
+    for (framework, arch, transport), wants_p3, points in plan:
+        subplot = SetupGrid(framework=framework, arch=arch, transport=transport)
+        if wants_p3:
+            subplot.p3 = []
+        for point in points:
+            subplot.gpus.append(point["gpus"])
+            subplot.baseline.append(speeds[point["baseline"]])
+            subplot.bytescheduler.append(
+                max(speeds[index] for index in point["bytescheduler"])
+            )
+            subplot.linear.append(speeds[point["linear"]] * point["machines"])
             if wants_p3:
-                subplot.p3.append(p3_speed(model, cluster, measure=p3_measure))
+                subplot.p3.append(speeds[point["p3"]])
         grid.setups.append(subplot)
     return grid
 

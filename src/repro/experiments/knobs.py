@@ -13,6 +13,7 @@ the table.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Tuple
 
 from repro.units import MB
@@ -41,6 +42,7 @@ TUNED_KNOBS: Dict[Tuple[str, str, str], Tuple[float, float]] = {
 }
 
 
+@lru_cache(maxsize=None)
 def tuned_knobs(
     model: str, arch: str, transport: str, machines: int = 4
 ) -> Tuple[float, float]:
@@ -51,6 +53,10 @@ def tuned_knobs(
     tuned at 4 machines; for all-reduce the per-collective sync cost
     grows with the ring, so the optimal partition scales up with it
     (the paper re-tunes per setup — this is the table analogue).
+
+    Memoised: a figure sweep asks for the same setup's knobs at every
+    scale point, and a live BO fallback is far too expensive to repeat.
+    (The tuner is deterministic, so memoisation is invisible.)
     """
     key = (model, arch, transport)
     if key in TUNED_KNOBS:

@@ -69,6 +69,7 @@ class Fabric:
         self.dropped = 0
         self.nics: Dict[str, DuplexNIC] = {}
         self._loopbacks: Dict[str, Link] = {}
+        self._nodes_cache: Optional[List[str]] = None
         self._local_transport = local_transport or LocalTransport()
         self._local_bandwidth = local_bandwidth
         for node in nodes:
@@ -76,13 +77,21 @@ class Fabric:
 
     @property
     def nodes(self) -> List[str]:
-        """All node names, in insertion order."""
-        return list(self.nics)
+        """All node names, in insertion order.
+
+        The list is cached (invalidated by :meth:`add_node`) — callers
+        poll this in per-event loops, so it must not allocate each time.
+        Treat it as read-only.
+        """
+        if self._nodes_cache is None:
+            self._nodes_cache = list(self.nics)
+        return self._nodes_cache
 
     def add_node(self, node: str, bandwidth: float) -> DuplexNIC:
         """Attach a node with its own NIC; returns the NIC."""
         if node in self.nics:
             raise ValueError(f"node {node!r} already exists")
+        self._nodes_cache = None
         nic = DuplexNIC(self.env, node, bandwidth, self.transport, self.trace)
         self.nics[node] = nic
         self._loopbacks[node] = Link(

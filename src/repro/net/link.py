@@ -86,8 +86,10 @@ class Link:
     def transmit(self, message: Message) -> Event:
         """Enqueue ``message``; the returned event fires when its last
         byte has left this link."""
-        message.enqueued_at = self.env.now
-        start = max(self.env.now, self._busy_until)
+        env = self.env
+        now = env._now
+        message.enqueued_at = now
+        start = now if now > self._busy_until else self._busy_until
         service = self.transport.wire_time(message.size, self.bandwidth)
         end = self._service_end(start, service)
         self._busy_until = end
@@ -104,7 +106,7 @@ class Link:
                 size=message.size,
                 kind=message.kind,
             )
-        return self.env.timeout(end - self.env.now, value=message)
+        return env.timeout(end - now, value=message)
 
     def transmit_cut_through(self, message: Message, available_at: float) -> Event:
         """Enqueue a message whose bytes *streamed in* while an upstream
@@ -116,7 +118,9 @@ class Link:
         backlogged, the message still occupies a full service slot:
         ``end = max(available_at, busy_until + service)``.
         """
-        message.enqueued_at = self.env.now
+        env = self.env
+        now = env._now
+        message.enqueued_at = now
         service = self.transport.wire_time(message.size, self.bandwidth)
         # The service slot opens when the link frees, or just early
         # enough to end at the upstream arrival — whichever is later.
@@ -141,7 +145,7 @@ class Link:
                 size=message.size,
                 kind=message.kind,
             )
-        return self.env.timeout(max(0.0, end - self.env.now), value=message)
+        return env.timeout(max(0.0, end - now), value=message)
 
     def reset_counters(self) -> None:
         """Zero the byte/message/busy counters (e.g. after warm-up)."""

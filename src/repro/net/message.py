@@ -10,7 +10,6 @@ underlying communication stack ... is inherently based on FIFO queues").
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 __all__ = ["Message"]
@@ -18,21 +17,35 @@ __all__ = ["Message"]
 _message_ids = itertools.count()
 
 
-@dataclass
 class Message:
-    """One unit of data handed to the network for transmission."""
+    """One unit of data handed to the network for transmission.
 
-    src: str
-    dst: str
-    size: float
-    payload: Any = None
-    kind: str = "data"
-    uid: int = field(default_factory=lambda: next(_message_ids))
-    enqueued_at: Optional[float] = None
+    Hand-rolled with ``__slots__`` rather than a dataclass: two of
+    these are allocated per scheduled partition, which puts their
+    construction on the sweep-wide hot path.
+    """
 
-    def __post_init__(self) -> None:
-        if self.size < 0:
-            raise ValueError(f"message size must be >= 0, got {self.size!r}")
+    __slots__ = ("src", "dst", "size", "payload", "kind", "uid", "enqueued_at")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        size: float,
+        payload: Any = None,
+        kind: str = "data",
+        uid: Optional[int] = None,
+        enqueued_at: Optional[float] = None,
+    ) -> None:
+        if size < 0:
+            raise ValueError(f"message size must be >= 0, got {size!r}")
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.payload = payload
+        self.kind = kind
+        self.uid = next(_message_ids) if uid is None else uid
+        self.enqueued_at = enqueued_at
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,135 @@
+"""Perf-regression harness: run, persist, and compare benchmark suites.
+
+The output format (``BENCH_<name>.json``) is the repo's perf
+trajectory: a committed baseline plus one artifact per CI run.  Layout::
+
+    {
+      "schema": 1,
+      "name": "micro",
+      "python": "3.11.7",
+      "results": {
+        "event_throughput": {"value": ..., "unit": "events/s", ...},
+        ...
+      }
+    }
+
+``value`` is always higher-is-better, so a regression is
+``current < baseline * (1 - threshold)``.  Absolute numbers vary with
+host speed, so the CI gate applies a generous threshold against the
+committed baseline; refresh the baseline with
+``repro bench --out benchmarks/perf/BASELINE.json`` whenever an
+intentional perf change lands.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "run_suite",
+    "write_bench",
+    "load_bench",
+    "compare",
+    "format_results",
+]
+
+BENCH_SCHEMA = 1
+
+
+def run_suite(
+    benchmarks: Mapping[str, Callable[[], Dict[str, Any]]],
+    repeats: int = 3,
+    only: Optional[Iterable[str]] = None,
+) -> Dict[str, Any]:
+    """Run each benchmark ``repeats`` times, keep the best run.
+
+    Best-of-N is the standard defence against scheduler noise for
+    throughput numbers: the fastest run is the one least disturbed by
+    the host.
+    """
+    wanted = None if only is None else set(only)
+    results: Dict[str, Any] = {}
+    for name, fn in benchmarks.items():
+        if wanted is not None and name not in wanted:
+            continue
+        best: Optional[Dict[str, Any]] = None
+        for _ in range(max(1, repeats)):
+            run = fn()
+            if best is None or run["value"] > best["value"]:
+                best = run
+        assert best is not None
+        best["repeats"] = max(1, repeats)
+        results[name] = best
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": "micro",
+        "python": platform.python_version(),
+        "results": results,
+    }
+
+
+def write_bench(payload: Dict[str, Any], path: Path) -> None:
+    """Persist a suite payload as pretty, diff-stable JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_bench(path: Path) -> Dict[str, Any]:
+    """Load a previously written ``BENCH_*.json``."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unsupported bench schema {payload.get('schema')!r} in {path}"
+        )
+    return payload
+
+
+def compare(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold: float = 0.25,
+) -> List[str]:
+    """Return regression messages; empty list means the gate passes.
+
+    A benchmark regresses when its value drops more than ``threshold``
+    below the baseline.  Benchmarks present on only one side are
+    reported (renames should update the baseline in the same commit).
+    """
+    failures: List[str] = []
+    current_results = current.get("results", {})
+    baseline_results = baseline.get("results", {})
+    for name, base in baseline_results.items():
+        cur = current_results.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        floor = base["value"] * (1.0 - threshold)
+        if cur["value"] < floor:
+            drop = 1.0 - cur["value"] / base["value"]
+            failures.append(
+                f"{name}: {cur['value']:.1f} {cur.get('unit', '')} is "
+                f"{drop:.0%} below baseline {base['value']:.1f} "
+                f"(allowed drop {threshold:.0%})"
+            )
+    for name in current_results:
+        if name not in baseline_results:
+            failures.append(
+                f"{name}: not in baseline (refresh the baseline file)"
+            )
+    return failures
+
+
+def format_results(payload: Dict[str, Any]) -> str:
+    """Human-readable one-line-per-benchmark table."""
+    lines = []
+    for name, result in payload.get("results", {}).items():
+        lines.append(
+            f"  {name:<20} {result['value']:>14.1f} {result.get('unit', ''):<12}"
+            f" (wall {result.get('wall_s', 0.0) * 1e3:.1f} ms)"
+        )
+    return "\n".join(lines)

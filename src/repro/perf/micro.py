@@ -1,0 +1,202 @@
+"""Kernel and scheduler microbenchmarks.
+
+Each benchmark is a plain function returning a result dict with a
+throughput-style ``value`` (higher is better) so the harness can
+compare runs.  They exercise the three layers the figure sweeps spend
+their time in:
+
+* ``event_throughput`` — the discrete-event kernel alone: processes
+  ping-ponging timeouts, no network, no scheduler.
+* ``scheduler_queue`` — ByteSchedulerCore enqueue → schedule → credit
+  return against a loopback backend, no training job around it.
+* ``end_to_end`` — one complete ``run_experiment`` (the unit every
+  figure point costs).
+
+Keep the workloads deterministic: the *work done per run* must not
+drift between commits or the regression gate compares different jobs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.sim import Environment, Event
+from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend
+
+__all__ = [
+    "bench_event_throughput",
+    "bench_scheduler_queue",
+    "bench_end_to_end",
+    "bench_sweep",
+    "MICROBENCHMARKS",
+]
+
+
+def bench_event_throughput(
+    processes: int = 100, steps: int = 1000
+) -> Dict[str, Any]:
+    """Events/second through the bare kernel.
+
+    ``processes`` generator processes each yield ``steps`` staggered
+    timeouts — the allocation + heap + callback path every simulated
+    action rides on.
+    """
+    env = Environment()
+    total_events = processes * steps
+
+    def worker(index: int):
+        delay = 0.001 + index * 1e-6
+        for _ in range(steps):
+            yield env.timeout(delay)
+
+    for index in range(processes):
+        env.process(worker(index))
+    started = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - started
+    return {
+        "name": "event_throughput",
+        "unit": "events/s",
+        "value": total_events / elapsed,
+        "wall_s": elapsed,
+        "params": {"processes": processes, "steps": steps},
+    }
+
+
+class _LoopbackBackend(CommBackend):
+    """Minimal backend: every chunk 'sends' after one simulated tick.
+
+    Isolates the scheduler's queue/credit machinery from the network
+    model so the benchmark measures enqueue/dequeue cost.
+    """
+
+    is_collective = False
+
+    def __init__(self, env: Environment, latency: float = 1e-5) -> None:
+        self.env = env
+        self.latency = latency
+
+    @property
+    def workers(self):
+        return ("w0",)
+
+    def chunk_targets(self, chunk: ChunkSpec) -> Optional[str]:
+        return None
+
+    def start_chunk(self, chunk: ChunkSpec) -> ChunkHandle:
+        done: Event = self.env.timeout(self.latency, value=chunk)
+        return ChunkHandle(sent=done, done=done)
+
+
+def bench_scheduler_queue(
+    tasks: int = 300, partitions: int = 32
+) -> Dict[str, Any]:
+    """Subtask enqueue→start→finish cycles/second through the Core."""
+    from repro.core.scheduler import ByteSchedulerCore
+
+    env = Environment()
+    backend = _LoopbackBackend(env)
+    core = ByteSchedulerCore(
+        env,
+        backend,
+        partition_bytes=1.0,
+        credit_bytes=4.0,
+        name="bench",
+    )
+    total = tasks * partitions
+    for index in range(tasks):
+        # Reverse layer order mimics backward propagation: every
+        # arrival lands at the queue head and exercises the heap.
+        task = core.create_task(0, tasks - index, float(partitions))
+        task.notify_ready()
+    started = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - started
+    if core.subtasks_started != total:
+        raise RuntimeError(
+            f"scheduler bench incomplete: {core.subtasks_started}/{total}"
+        )
+    return {
+        "name": "scheduler_queue",
+        "unit": "subtasks/s",
+        "value": total / elapsed,
+        "wall_s": elapsed,
+        "params": {"tasks": tasks, "partitions": partitions},
+    }
+
+
+def bench_end_to_end(
+    model: str = "resnet50", machines: int = 2, measure: int = 3
+) -> Dict[str, Any]:
+    """Wall-clock of one figure-point unit: a full simulated run."""
+    from repro.training import ClusterSpec, SchedulerSpec, run_experiment
+    from repro.units import MB
+
+    cluster = ClusterSpec(
+        machines=machines,
+        gpus_per_machine=8,
+        bandwidth_gbps=100.0,
+        transport="rdma",
+        arch="ps",
+        framework="mxnet",
+    )
+    spec = SchedulerSpec(
+        kind="bytescheduler", partition_bytes=0.5 * MB, credit_bytes=2 * MB
+    )
+    started = time.perf_counter()
+    result = run_experiment(model, cluster, spec, measure=measure)
+    elapsed = time.perf_counter() - started
+    return {
+        "name": "end_to_end",
+        "unit": "runs/s",
+        "value": 1.0 / elapsed,
+        "wall_s": elapsed,
+        "params": {
+            "model": model,
+            "machines": machines,
+            "measure": measure,
+            "speed": result.speed,
+        },
+    }
+
+
+def bench_sweep(
+    workers: Optional[int] = None, cache_dir: Optional[str] = None
+) -> Dict[str, Any]:
+    """Wall-clock of a small figure-10-style sweep (two scales, two
+    setups, all three lines per subplot).
+
+    With ``workers``/``cache_dir`` the sweep routes through
+    :mod:`repro.experiments.parallel`; the serial path is what the
+    pre-parallel harness paid per figure.
+    """
+    from repro.experiments import figure10_12
+
+    started = time.perf_counter()
+    grid = figure10_12.run_model(
+        "vgg16",
+        machines_list=(1, 2),
+        setups=(("mxnet", "ps", "rdma"), ("mxnet", "allreduce", "rdma")),
+        measure=2,
+        include_p3=False,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
+    elapsed = time.perf_counter() - started
+    points = sum(len(subplot.gpus) for subplot in grid.setups)
+    return {
+        "name": "sweep",
+        "unit": "points/s",
+        "value": points / elapsed,
+        "wall_s": elapsed,
+        "params": {"points": points, "workers": workers, "cached": bool(cache_dir)},
+    }
+
+
+#: name -> zero-argument callable, in reporting order.
+MICROBENCHMARKS = {
+    "event_throughput": bench_event_throughput,
+    "scheduler_queue": bench_scheduler_queue,
+    "end_to_end": bench_end_to_end,
+}

@@ -14,11 +14,20 @@ Determinism: events scheduled for the same simulated time fire in the
 order they were scheduled (FIFO tie-break via a monotonically increasing
 sequence number).  Given the same inputs, a simulation always produces
 the same trajectory — the test suite relies on this.
+
+Performance notes: this kernel is the hot loop under every experiment,
+so the classes carry ``__slots__``, :class:`Timeout` and
+:class:`Process` construction is hand-inlined, and the heap may hold a
+bare ``(callback, arg)`` pair instead of an :class:`Event` (see
+:meth:`Environment.defer`) so zero-delay wakeups and process kick-offs
+allocate nothing.  None of this changes the sequence-number accounting:
+each schedule point still consumes exactly one sequence number, so
+trajectories are identical to the straightforward implementation.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import Interrupt, SimulationError
@@ -28,6 +37,10 @@ __all__ = ["Environment", "Event", "Timeout", "Process", "PENDING"]
 #: Sentinel for "this event has not been triggered yet".
 PENDING = object()
 
+#: Heap priority for interrupts — they pre-empt same-time normal events.
+_URGENT = 0
+_NORMAL = 1
+
 
 class Event:
     """A one-shot occurrence on an :class:`Environment`'s timeline.
@@ -36,6 +49,8 @@ class Event:
     an exception) and scheduled; it is *processed* once its callbacks
     have run.  Callbacks receive the event itself.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -101,9 +116,9 @@ class Event:
 
     def __repr__(self) -> str:
         state = "pending"
-        if self.processed:
+        if self.callbacks is None:
             state = "processed"
-        elif self.triggered:
+        elif self._value is not PENDING:
             state = "triggered"
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
@@ -111,20 +126,43 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` simulated seconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + _schedule: timeouts dominate the
+        # allocation profile, so they pay for zero indirection.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, delay=delay)
+        self._ok = True
+        self.defused = False
+        self.delay = delay
+        eid = env._eid + 1
+        env._eid = eid
+        heappush(env._queue, (env._now + delay, _NORMAL, eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
 
 
 ProcessGenerator = Generator[Event, Any, Any]
+
+
+class _InitSentinel:
+    """Shared pre-succeeded stand-in for a process's kick-off event.
+
+    Immutable (``__slots__ = ()``; state lives in class attributes), so
+    one instance serves every process ever started.
+    """
+
+    __slots__ = ()
+    _ok = True
+    _value = None
+
+
+_INIT = _InitSentinel()
 
 
 class Process(Event):
@@ -134,19 +172,24 @@ class Process(Event):
     return value, or fails with the exception that escaped it.
     """
 
+    __slots__ = ("_generator", "_target")
+
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = None
+        self.defused = False
         self._generator = generator
         self._target: Optional[Event] = None
-        # Kick the process off via an already-succeeded initialisation
-        # event so the first resume happens inside env.run().
-        init = Event(env)
-        init._ok = True
-        init._value = None
-        init.callbacks.append(self._resume)
-        env._schedule(init)
+        # Kick the process off inside env.run() — not with a throwaway
+        # init Event, but with a bare (callback, sentinel) heap entry
+        # that the run loop dispatches directly.
+        eid = env._eid + 1
+        env._eid = eid
+        heappush(env._queue, (env._now, _NORMAL, eid, (self._resume, _INIT)))
 
     @property
     def is_alive(self) -> bool:
@@ -164,21 +207,18 @@ class Process(Event):
         The process stops waiting for its current target and instead
         handles (or propagates) the interrupt at its ``yield``.
         """
-        if not self.is_alive:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} has terminated; cannot interrupt")
-        if self._target is not None and self._target.callbacks is not None:
-            # Stop waiting for the old target; it must not resume us
-            # again after the interrupt is handled.
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-            self._target = None
         event = Event(self.env)
         event._ok = False
         event._value = Interrupt(cause)
         event.defused = True
         event.callbacks.append(self._resume)
+        # Retarget instead of scanning the abandoned target's callback
+        # list: _resume ignores firings from anything that is not the
+        # current target, so the stale callback left behind is a no-op
+        # (same observable behaviour as removing it, at O(1)).
+        self._target = event
         self.env._schedule(event, priority=_URGENT)
 
     def _resume(self, event: Event) -> None:
@@ -189,6 +229,14 @@ class Process(Event):
             if not event._ok:
                 event.defused = True
             return
+        target = self._target
+        if target is not None and event is not target:
+            # A target abandoned by interrupt() finally fired.  The
+            # process moved on long ago; fall through to whatever other
+            # consumers the event has (failures stay un-defused, exactly
+            # as if this callback had been removed).
+            return
+        self._target = None
         self.env._active_process = self
         while True:
             try:
@@ -231,17 +279,11 @@ class Process(Event):
             # Already processed: feed its value straight back in.
             event = next_event
 
-        self._target = None
         self.env._active_process = None
 
     def __repr__(self) -> str:
         name = getattr(self._generator, "__name__", repr(self._generator))
         return f"<Process {name} at {id(self):#x}>"
-
-
-#: Heap priority for interrupts — they pre-empt same-time normal events.
-_URGENT = 0
-_NORMAL = 1
 
 
 class Environment:
@@ -259,6 +301,8 @@ class Environment:
         env.run()
         assert proc.value == 3.0
     """
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_process")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -305,8 +349,32 @@ class Environment:
     # -- scheduling -------------------------------------------------------
 
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = _NORMAL) -> None:
-        self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        eid = self._eid + 1
+        self._eid = eid
+        heappush(self._queue, (self._now + delay, priority, eid, event))
+
+    def defer(
+        self,
+        fn: Callable[[Any], None],
+        arg: Any = None,
+        delay: float = 0.0,
+        priority: int = _NORMAL,
+    ) -> None:
+        """Schedule a bare callback ``fn(arg)`` to run ``delay`` seconds
+        from now, with no :class:`Event` allocated.
+
+        The fast path for fire-and-forget wakeups that used to be
+        spelled ``env.timeout(0.0).callbacks.append(fn)``.  Consumes one
+        sequence number, exactly like scheduling an event, so it slots
+        into the deterministic order at the same position the timeout
+        would have.  There is nothing to wait on or cancel — use a real
+        :class:`Timeout` when the caller needs a handle.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative defer delay {delay!r}")
+        eid = self._eid + 1
+        self._eid = eid
+        heappush(self._queue, (self._now + delay, priority, eid, (fn, arg)))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -316,11 +384,16 @@ class Environment:
         """Process the single next event."""
         if not self._queue:
             raise SimulationError("no more events to step through")
-        when, _priority, _eid, event = heapq.heappop(self._queue)
+        when, _priority, _eid, event = heappop(self._queue)
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
+        if event.__class__ is tuple:
+            # A defer()-style bare callback; nothing to detach or raise.
+            event[0](event[1])
+            return
+        callbacks = event.callbacks
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
         if not event._ok and not event.defused:
@@ -341,8 +414,23 @@ class Environment:
             horizon = float(until)
         else:
             horizon = float("inf")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        # step() inlined: this loop is the innermost of the whole
+        # simulator, so it avoids the per-event method call and the
+        # scheduled-in-the-past guard (unreachable from a monotonic
+        # heap; step() keeps it for direct callers).
+        queue = self._queue
+        while queue and queue[0][0] <= horizon:
+            when, _priority, _eid, event = heappop(queue)
+            self._now = when
+            if event.__class__ is tuple:
+                event[0](event[1])
+                continue
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event.defused:
+                raise event._value
         if until is not None:
             self._now = horizon
 

@@ -15,8 +15,20 @@ from repro.sim.core import Environment, Event
 __all__ = ["Condition", "AllOf", "AnyOf"]
 
 
+def _defuse_late(event: Event) -> None:
+    """Swallow the late failure of an event some condition abandoned.
+
+    A resolved condition no longer cares about its losing sources, but
+    one of them failing later must not crash the simulation unhandled.
+    """
+    if not event._ok:
+        event.defused = True
+
+
 class Condition(Event):
     """Base for composite events over a list of source events."""
+
+    __slots__ = ("_events", "_fired")
 
     def __init__(self, env: Environment, events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -29,6 +41,14 @@ class Condition(Event):
             self.succeed({})
             return
         for event in self._events:
+            if self.triggered:
+                # Resolved against an already-processed source earlier
+                # in the list; the rest only need late-failure defusing,
+                # not a reference back to this dead condition.
+                callbacks = event.callbacks
+                if callbacks is not None and _defuse_late not in callbacks:
+                    callbacks.append(_defuse_late)
+                continue
             if event.callbacks is None:
                 self._check(event)
             else:
@@ -47,14 +67,41 @@ class Condition(Event):
         if not event._ok:
             event.defused = True
             self.fail(event._value)
+            self._release_losers()
             return
         self._fired[event] = event._value
         if self._satisfied():
             self.succeed(dict(self._fired))
+            self._release_losers()
+
+    def _release_losers(self) -> None:
+        """Detach from sources that have not fired (and never will, as
+        far as this condition cares).
+
+        Without this, every resolved AnyOf/AllOf would leave its bound
+        ``_check`` — and through it the whole condition — pinned to each
+        long-lived losing event, growing that event's callback list
+        without bound.  The bound method is swapped for one shared
+        module-level defuser (deduplicated), preserving the
+        late-failure-defusing behaviour at O(1) retained memory.
+        """
+        check = self._check
+        for event in self._events:
+            callbacks = event.callbacks
+            if callbacks is None or event in self._fired:
+                continue
+            try:
+                callbacks.remove(check)
+            except ValueError:
+                continue
+            if _defuse_late not in callbacks:
+                callbacks.append(_defuse_late)
 
 
 class AllOf(Condition):
     """Succeeds once every source event has succeeded."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return len(self._fired) == len(self._events)
@@ -62,6 +109,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Succeeds as soon as the first source event succeeds."""
+
+    __slots__ = ()
 
     def _satisfied(self) -> bool:
         return len(self._fired) >= 1

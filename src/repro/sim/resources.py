@@ -37,6 +37,8 @@ __all__ = [
 class Request(Event):
     """A pending or granted claim on a :class:`Resource` slot."""
 
+    __slots__ = ("resource", "priority", "time")
+
     def __init__(self, resource: "Resource", priority: float = 0.0) -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -111,6 +113,8 @@ class PriorityResource(Resource):
 class StorePut(Event):
     """Pending insertion of ``item`` into a :class:`Store`."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
@@ -119,6 +123,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """Pending retrieval of an item from a :class:`Store`."""
+
+    __slots__ = ()
 
     def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
@@ -200,6 +206,8 @@ class PriorityStore(Store):
 
 class ContainerEvent(Event):
     """Pending put or get of an ``amount`` on a :class:`Container`."""
+
+    __slots__ = ("amount",)
 
     def __init__(self, container: "Container", amount: float) -> None:
         if amount < 0:

@@ -29,6 +29,7 @@ def run_experiment(
     fault_plan=None,
     metrics=None,
     report: bool = False,
+    cache=None,
 ) -> TrainingResult:
     """Run one simulated training configuration and return its speed.
 
@@ -40,7 +41,42 @@ def run_experiment(
     each iteration.  With ``report=True`` (implied by ``metrics``), the
     returned result carries a machine-readable
     :class:`~repro.obs.RunReport` in ``result.report``.
+
+    ``cache`` memoises the run on disk (see
+    :mod:`repro.experiments.parallel`): a :class:`ResultCache`, a cache
+    directory path, ``None`` to use the session cache when one is
+    active (the default), or ``False`` to force a fresh simulation.
+    Only plain measurement runs are cacheable — requesting traces,
+    metrics, faults, or a report always simulates.
     """
+    plain = (
+        fault_plan is None
+        and metrics is None
+        and not enable_trace
+        and not report
+    )
+    if plain and cache is not False:
+        from repro.experiments.parallel import (
+            ResultCache,
+            TrialSpec,
+            active_cache,
+            execute_trial,
+            result_from_payload,
+        )
+
+        if cache is None:
+            cache = active_cache()
+        elif not isinstance(cache, ResultCache):
+            cache = ResultCache(cache)
+        if cache is not None:
+            trial = TrialSpec(
+                model=model,
+                cluster=cluster,
+                scheduler=scheduler or SchedulerSpec(),
+                measure=measure,
+                warmup=warmup,
+            )
+            return result_from_payload(execute_trial(trial, cache=cache))
     spec = resolve_model(model)
     scheduler = scheduler or SchedulerSpec()
     job = TrainingJob(

@@ -1,0 +1,129 @@
+"""Perf harness: suite runner, BENCH file round-trip, regression gate."""
+
+import pytest
+
+from repro.perf import (
+    BENCH_SCHEMA,
+    MICROBENCHMARKS,
+    bench_event_throughput,
+    bench_scheduler_queue,
+    compare,
+    format_results,
+    load_bench,
+    run_suite,
+    write_bench,
+)
+
+
+def fake_suite(values):
+    return {
+        "schema": BENCH_SCHEMA,
+        "name": "micro",
+        "python": "3.11.0",
+        "results": {
+            name: {"value": value, "unit": "ops/s", "wall_s": 0.1}
+            for name, value in values.items()
+        },
+    }
+
+
+def test_run_suite_keeps_best_of_n():
+    calls = {"n": 0}
+
+    def noisy():
+        calls["n"] += 1
+        return {"value": float(calls["n"]), "unit": "ops/s", "wall_s": 0.0}
+
+    payload = run_suite({"noisy": noisy}, repeats=4)
+    assert calls["n"] == 4
+    result = payload["results"]["noisy"]
+    assert result["value"] == 4.0  # best kept
+    assert result["repeats"] == 4
+    assert payload["schema"] == BENCH_SCHEMA
+
+
+def test_run_suite_only_filter():
+    ran = []
+
+    def make(name):
+        def bench():
+            ran.append(name)
+            return {"value": 1.0, "unit": "x", "wall_s": 0.0}
+
+        return bench
+
+    payload = run_suite(
+        {"a": make("a"), "b": make("b")}, repeats=1, only=["b"]
+    )
+    assert ran == ["b"]
+    assert list(payload["results"]) == ["b"]
+
+
+def test_write_load_roundtrip(tmp_path):
+    payload = fake_suite({"event_throughput": 1000.0})
+    path = tmp_path / "BENCH_micro.json"
+    write_bench(payload, path)
+    assert load_bench(path) == payload
+
+
+def test_load_rejects_wrong_schema(tmp_path):
+    payload = fake_suite({"x": 1.0})
+    payload["schema"] = BENCH_SCHEMA + 1
+    path = tmp_path / "bad.json"
+    write_bench(payload, path)
+    with pytest.raises(ValueError):
+        load_bench(path)
+
+
+def test_compare_passes_within_threshold():
+    baseline = fake_suite({"a": 100.0, "b": 50.0})
+    current = fake_suite({"a": 80.0, "b": 60.0})  # -20% and +20%
+    assert compare(current, baseline, threshold=0.25) == []
+
+
+def test_compare_flags_regression_and_missing():
+    baseline = fake_suite({"a": 100.0, "gone": 10.0})
+    current = fake_suite({"a": 50.0, "new": 1.0})
+    failures = compare(current, baseline, threshold=0.25)
+    text = "\n".join(failures)
+    assert "a:" in text and "50%" in text
+    assert "gone: missing" in text
+    assert "new: not in baseline" in text
+
+
+def test_format_results_lists_each_benchmark():
+    text = format_results(fake_suite({"a": 1234.5, "b": 2.0}))
+    assert "a" in text and "1234.5" in text and "ops/s" in text
+
+
+def test_microbenchmarks_registry_names():
+    assert set(MICROBENCHMARKS) == {
+        "event_throughput", "scheduler_queue", "end_to_end"
+    }
+
+
+def test_event_throughput_bench_runs():
+    result = bench_event_throughput(processes=10, steps=20)
+    assert result["unit"] == "events/s"
+    assert result["value"] > 0
+    assert result["params"] == {"processes": 10, "steps": 20}
+
+
+def test_scheduler_queue_bench_runs():
+    result = bench_scheduler_queue(tasks=10, partitions=4)
+    assert result["unit"] == "subtasks/s"
+    assert result["value"] > 0
+
+
+def test_committed_baseline_is_loadable():
+    """The CI gate depends on this file staying valid."""
+    from pathlib import Path
+
+    baseline_path = (
+        Path(__file__).resolve().parents[2]
+        / "benchmarks" / "perf" / "BASELINE.json"
+    )
+    baseline = load_bench(baseline_path)
+    assert set(MICROBENCHMARKS) <= set(baseline["results"])
+    for result in baseline["results"].values():
+        assert result["value"] > 0

@@ -327,3 +327,115 @@ def test_process_requires_generator():
     env = Environment()
     with pytest.raises(SimulationError):
         env.process(lambda: None)
+
+
+def test_interrupt_ignores_stale_target_firing():
+    """A target abandoned by an interrupt must not resume the process.
+
+    Regression test: interrupt used to leave the abandoned event's
+    callback armed (the removal targeted a never-set ``_target``), so
+    when the old event eventually fired it re-entered the generator at
+    the wrong yield.
+    """
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(10.0)
+            log.append("long-completed")
+        except Interrupt:
+            log.append(("interrupted", env.now))
+        # If the stale timeout(10) resumes us, these two short waits
+        # would be skipped past and the log order would break.
+        yield env.timeout(1.0)
+        log.append(("step", env.now))
+        yield env.timeout(20.0)
+        log.append(("done", env.now))
+
+    process = env.process(victim(env))
+
+    def interrupter(env):
+        yield env.timeout(2.0)
+        process.interrupt("stop")
+
+    env.process(interrupter(env))
+    env.run()
+    assert log == [("interrupted", 2.0), ("step", 3.0), ("done", 23.0)]
+    assert process.ok
+
+
+def test_interrupt_stale_success_is_ignored_without_misresume():
+    """The abandoned target firing with a value is silently dropped."""
+    env = Environment()
+
+    def victim(env):
+        stale = env.timeout(5.0, value="stale")
+        try:
+            yield stale
+        except Interrupt:
+            pass
+        got = yield env.timeout(10.0, value="fresh")
+        return (env.now, got, stale.value)
+
+    process = env.process(victim(env))
+
+    def interrupter(env):
+        yield env.timeout(1.0)
+        process.interrupt()
+
+    env.process(interrupter(env))
+    env.run()
+    assert process.value == (11.0, "fresh", "stale")
+
+
+def test_double_interrupt_retargets_to_latest():
+    env = Environment()
+    causes = []
+
+    def victim(env):
+        for _ in range(2):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                causes.append(interrupt.cause)
+        yield env.timeout(1.0)
+        return env.now
+
+    process = env.process(victim(env))
+
+    def interrupter(env):
+        yield env.timeout(1.0)
+        process.interrupt("first")
+        yield env.timeout(1.0)
+        process.interrupt("second")
+
+    env.process(interrupter(env))
+    env.run()
+    assert causes == ["first", "second"]
+    assert process.value == 3.0
+
+
+def test_defer_runs_callback_in_order():
+    env = Environment()
+    log = []
+
+    env.defer(log.append, "deferred")
+
+    def proc(env):
+        log.append("process")
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    assert log == ["deferred", "process"]
+
+
+def test_defer_with_delay_and_priority():
+    env = Environment()
+    log = []
+
+    env.defer(lambda _: log.append(("late", env.now)), delay=2.0)
+    env.defer(lambda _: log.append(("early", env.now)), delay=1.0)
+    env.run()
+    assert log == [("early", 1.0), ("late", 2.0)]

@@ -117,3 +117,62 @@ def test_all_of_values_in_firing_order():
     process = env.process(proc(env))
     env.run()
     assert process.value == ["fast", "slow"]
+
+
+def test_any_of_losers_do_not_accumulate_callbacks():
+    """Losing sources of many conditions keep O(1) callbacks.
+
+    Regression test: each ``any_of`` used to leave its bound ``_check``
+    on the long-lived loser, pinning every dead condition (and its
+    result dict) to the event for the event's whole lifetime.
+    """
+    env = Environment()
+
+    def proc(env):
+        slow = env.timeout(1000.0, value="slow")
+        for _ in range(50):
+            fast = env.timeout(0.001, value="fast")
+            yield env.any_of([fast, slow])
+        return len(slow.callbacks)
+
+    process = env.process(proc(env))
+    env.run(until=1.0)
+    # One shared defuser at most — not one closure per finished race.
+    assert process.value <= 2
+
+
+def test_all_of_failure_releases_surviving_sources():
+    env = Environment()
+
+    def proc(env):
+        slow = env.timeout(1000.0, value="slow")
+        for _ in range(50):
+            doomed = env.event()
+            env.defer(lambda e: e.fail(RuntimeError("boom")),
+                      doomed, delay=0.001)
+            try:
+                yield env.all_of([doomed, slow])
+            except RuntimeError:
+                pass
+        return len(slow.callbacks)
+
+    process = env.process(proc(env))
+    env.run(until=1.0)
+    assert process.value <= 2
+
+
+def test_released_loser_failure_still_defused():
+    """A loser that fails *after* its condition resolved must not crash."""
+    env = Environment()
+
+    def proc(env):
+        fast = env.timeout(1.0, value="fast")
+        loser = env.event()
+        env.defer(lambda e: e.fail(RuntimeError("late")),
+                  loser, delay=5.0)
+        result = yield env.any_of([fast, loser])
+        return list(result.values())
+
+    process = env.process(proc(env))
+    env.run()  # the late failure must be defused by the released loser
+    assert process.value == ["fast"]

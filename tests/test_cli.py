@@ -200,3 +200,64 @@ def test_trace_subcommand_rejects_missing_file(capsys):
     captured = capsys.readouterr()
     assert code == 1
     assert "cannot read trace" in captured.err
+
+
+def test_bench_writes_results(tmp_path, capsys):
+    out = tmp_path / "BENCH_micro.json"
+    code, stdout = run_cli(
+        capsys, "bench", "--repeats", "1",
+        "--only", "event_throughput", "--out", str(out),
+    )
+    assert code == 0
+    assert "event_throughput" in stdout
+    assert out.exists()
+
+
+def test_bench_regression_gate(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "BENCH_micro.json"
+    code, _ = run_cli(
+        capsys, "bench", "--repeats", "1",
+        "--only", "event_throughput", "--out", str(out),
+    )
+    assert code == 0
+    # Same host, same benchmark: comfortably within the 25% gate.
+    code, stdout = run_cli(
+        capsys, "bench", "--repeats", "1",
+        "--only", "event_throughput", "--out", str(out),
+        "--check", str(out),
+    )
+    assert code == 0
+    assert "no regression" in stdout
+    # An inflated baseline trips the gate.
+    payload = json.loads(out.read_text())
+    payload["results"]["event_throughput"]["value"] *= 100
+    inflated = tmp_path / "inflated.json"
+    inflated.write_text(json.dumps(payload))
+    code, _ = run_cli(
+        capsys, "bench", "--repeats", "1",
+        "--only", "event_throughput", "--out", str(out),
+        "--check", str(inflated),
+    )
+    assert code == 1
+
+
+def test_bench_unknown_name_rejected(capsys):
+    code = main(["bench", "--only", "nonesuch"])
+    capsys.readouterr()
+    assert code == 2
+
+
+def test_reproduce_with_cache_dir(tmp_path, capsys):
+    code, cold = run_cli(
+        capsys, "reproduce", "figure2",
+        "--cache-dir", str(tmp_path),
+    )
+    assert code == 0
+    code, warm = run_cli(
+        capsys, "reproduce", "figure2",
+        "--cache-dir", str(tmp_path),
+    )
+    assert code == 0
+    assert warm == cold
