@@ -52,7 +52,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-plan", default=None, metavar="SPEC",
         help="inject faults, e.g. "
              "'straggler:w0@0.0-0.5x3;slowlink:w1.up@0.1-0.3x0.25;"
-             "crash:s0@0.4+0.2;loss:0.02;seed:7'",
+             "crash:s0@0.4+0.2;corrupt:s0.down@0-0.5%%0.02;"
+             "dup:w1.up@0-0.5%%0.02;reorder:s1.down@0-0.5%%0.02;"
+             "loss:0.02;seed:7'",
+    )
+    run.add_argument(
+        "--integrity", action="store_true",
+        help="enable the delivery protocol (checksums, dedup window, "
+             "epoch fencing) and the chaos invariant oracle even "
+             "without integrity fault clauses",
     )
     run.add_argument(
         "--checkpoint-interval-ms", type=float, default=None, metavar="MS",
@@ -91,7 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
             "figure2", "figure4", "figure9", "figure10", "figure11",
             "figure12", "figure13", "figure14", "table1", "p3",
             "bounds", "ablations", "extensions", "coscheduling", "faults",
-            "recovery", "all",
+            "recovery", "integrity", "all",
         ],
     )
     reproduce.add_argument("--fast", action="store_true",
@@ -195,9 +203,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = None
     recovery_spec = None
     if args.fault_plan:
+        from repro.errors import FaultPlanError
         from repro.faults import FaultPlan
 
-        fault_plan = FaultPlan.parse(args.fault_plan)
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except FaultPlanError as error:
+            print(f"invalid --fault-plan: {error}", file=sys.stderr)
+            return 2
         print(f"fault plan: {fault_plan.describe()}")
         checkpoint_ms = getattr(args, "checkpoint_interval_ms", None)
         if checkpoint_ms is not None:
@@ -211,6 +224,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
+    oracle = None
+    wants_integrity = bool(
+        getattr(args, "integrity", False)
+        or (fault_plan is not None and fault_plan.integrity)
+    )
+    if wants_integrity:
+        from repro.invariants import ChaosOracle
+
+        oracle = ChaosOracle()
     job = TrainingJob(
         resolve_model(args.model),
         cluster,
@@ -219,6 +241,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         metrics=metrics,
         recovery_spec=recovery_spec,
+        oracle=oracle,
+        integrity=bool(getattr(args, "integrity", False)),
     )
     result = job.run(measure=args.measure)
     print(result.summary())
@@ -226,6 +250,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         timeouts = getattr(job.backend, "timeouts", 0)
         retries = getattr(job.backend, "retries", 0)
         print(f"robustness: {timeouts} transfer timeouts, {retries} retries")
+    guard = job.fabric.guard if job.fabric is not None else None
+    istats = (
+        guard.stats
+        if guard is not None
+        else getattr(job.backend, "integrity_stats", None)
+    )
+    if istats is not None:
+        print(
+            f"integrity: {istats.corrupt_injected} corrupt "
+            f"({istats.corrupt_detected} detected, "
+            f"{istats.retransmits} retransmits), "
+            f"{istats.dup_injected} duplicated "
+            f"({istats.dup_absorbed} absorbed), "
+            f"{istats.reorder_injected} reordered, "
+            f"{istats.stale_dropped} stale-epoch drops; "
+            f"accounting {'balanced' if istats.accounted() else 'UNBALANCED'}"
+        )
+    if oracle is not None:
+        print(
+            f"invariants: {len(oracle.invariants)} checked, "
+            f"{oracle.violations} violations"
+        )
     if job.recovery is not None:
         stats = job.recovery.stats()
         print(
@@ -375,6 +421,10 @@ def _run_reproduce_target(args: argparse.Namespace, exp) -> int:
                 checkpoint_intervals=(0.05, 0.2),
             )
         print(exp.recovery.format_result(exp.recovery.run(machines=2, **kwargs)))
+    elif target == "integrity":
+        print(exp.faults.format_integrity(
+            exp.faults.run_integrity(machines=2, measure=2 if fast else 3)
+        ))
     elif target == "extensions":
         machines = 2 if fast else 4
         print(exp.extensions.format_per_layer(exp.extensions.per_layer_partitions(machines=machines)))

@@ -15,10 +15,10 @@ backend therefore refuses per-worker scheduling (``is_collective``).
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple
 
 from repro.errors import ConfigError
-from repro.net.transport import Transport
+from repro.net.transport import IntegrityStats, Transport
 from repro.sim import Environment, Trace
 from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend, RetryPolicy
 from repro.units import GB, MS, US
@@ -73,6 +73,17 @@ class RingAllReduceBackend(CommBackend):
         self._fault_windows: Tuple[Tuple[float, float, float], ...] = ()
         self._loss_probability = 0.0
         self._fault_rng: Optional[random.Random] = None
+        #: Integrity faults (corrupt/dup/reorder clauses) drawn per
+        #: collective; see :meth:`set_integrity`.
+        self._integrity_faults: Tuple = ()
+        self._integrity_rng: Optional[random.Random] = None
+        self.integrity_stats: Optional[IntegrityStats] = None
+        #: Collectives fully reduced — the final parameter state.
+        self.completed_keys: Set[Tuple[int, int, int]] = set()
+        #: Per-(iteration, layer) reduced bytes (chaos-oracle ledger).
+        self.layer_bytes_completed: Dict[Tuple[int, int], float] = {}
+        #: Invariant hook: each key exactly once, at completion.
+        self.on_complete: Optional[Callable[[Tuple[int, int, int]], None]] = None
         #: Robustness counters (read by the faults experiment).
         self.timeouts = 0
         self.retries = 0
@@ -171,6 +182,59 @@ class RingAllReduceBackend(CommBackend):
 
         return degraded_finish(start, work, self._fault_windows)
 
+    def set_integrity(
+        self,
+        faults: Sequence,
+        rng: random.Random,
+        stats: Optional[IntegrityStats] = None,
+    ) -> None:
+        """Install integrity faults on the collective pipe.
+
+        There is no per-message wire here, so the clauses map onto what
+        NCCL-style stacks actually exhibit: a *corrupt* draw is a
+        checksum-failed collective — one full execution wasted, then
+        internally retransmitted; a *dup* draw is a redundant copy the
+        library absorbs (counted, no ring time); a *reorder* draw adds
+        switch-buffer delay to the synchronisation phase.
+        """
+        self._integrity_faults = tuple(faults)
+        self._integrity_rng = rng
+        self.integrity_stats = stats if stats is not None else IntegrityStats()
+
+    #: Extra sync delay of one reordered collective (switch re-buffer).
+    REORDER_SYNC_EXTRA = 500 * US
+
+    def _integrity_outcomes(self, now: float) -> Tuple[bool, bool, bool]:
+        """Seeded (corrupt, dup, reorder) draws for one collective."""
+        corrupt = dup = reorder = False
+        for fault in self._integrity_faults:
+            if not (fault.start <= now < fault.end):
+                continue
+            if self._integrity_rng.random() >= fault.rate:
+                continue
+            if fault.kind == "corrupt":
+                corrupt = True
+            elif fault.kind == "dup":
+                dup = True
+            else:
+                reorder = True
+        return corrupt, dup, reorder
+
+    def _record_complete(self, chunk: ChunkSpec) -> None:
+        if chunk.key in self.completed_keys:
+            return
+        self.completed_keys.add(chunk.key)
+        bucket = (chunk.iteration, chunk.layer)
+        self.layer_bytes_completed[bucket] = (
+            self.layer_bytes_completed.get(bucket, 0.0) + chunk.size
+        )
+        if self.on_complete is not None:
+            self.on_complete(chunk.key)
+
+    def sync_digest(self) -> Tuple[Tuple[int, int, int], ...]:
+        """Order-insensitive digest of the fully reduced chunk set."""
+        return tuple(sorted(self.completed_keys))
+
     def _failed_attempts(self) -> int:
         """Seeded draw: consecutive failures before this collective
         succeeds (bounded by the retry budget)."""
@@ -187,9 +251,52 @@ class RingAllReduceBackend(CommBackend):
             raise ConfigError(
                 "all-reduce chunks are collective; start them without a worker"
             )
+        if chunk.key in self.completed_keys:
+            # A replayed collective (recovered master re-driving work
+            # the ring already finished): every rank holds the reduced
+            # tensor, so only the synchronisation handshake runs —
+            # re-reducing would apply the sum twice.
+            done = self.env.timeout(self.base_sync, value=chunk)
+            return ChunkHandle(sent=done, done=done)
         start = max(self.env.now, self._busy_until)
         duration = self.collective_time(chunk.size)
         cursor = start
+        if self._integrity_faults:
+            corrupt, dup, reorder = self._integrity_outcomes(start)
+            stats = self.integrity_stats
+            if corrupt:
+                # Checksum failure: the whole collective's ring time is
+                # wasted, then the stack retransmits internally.
+                stats.corrupt_injected += 1
+                stats.corrupt_detected += 1
+                stats.retransmits += 1
+                failed_end = self._finish_time(cursor, duration)
+                if self.trace is not None:
+                    self.trace.span(
+                        "integrity.corrupt",
+                        f"allreduce:iter{chunk.iteration}.layer{chunk.layer}",
+                        cursor,
+                        failed_end,
+                        size=chunk.size,
+                    )
+                    self.trace.point(
+                        "integrity.retransmit",
+                        f"allreduce:iter{chunk.iteration}.layer{chunk.layer}",
+                    )
+                cursor = failed_end
+            if dup:
+                # A redundant copy the library absorbs: counted, no
+                # extra ring time.
+                stats.dup_injected += 1
+                stats.dup_absorbed += 1
+                if self.trace is not None:
+                    self.trace.point(
+                        "integrity.dup",
+                        f"allreduce:iter{chunk.iteration}.layer{chunk.layer}",
+                    )
+            if reorder:
+                stats.reorder_injected += 1
+                duration += self.REORDER_SYNC_EXTRA
         for attempt in range(self._failed_attempts()):
             # A failed collective occupies the ring until the stack
             # notices — after its own duration, or the retry deadline,
@@ -235,6 +342,9 @@ class RingAllReduceBackend(CommBackend):
         # A collective is "sent" when it completes: the credit window
         # bounds how many operations sit in NCCL's execution queue.
         completion = self.env.timeout(end - self.env.now, value=chunk)
+        completion.callbacks.append(
+            lambda _evt, c=chunk: self._record_complete(c)
+        )
         return ChunkHandle(sent=completion, done=completion)
 
     def bytes_per_iteration(self, total_model_bytes: float) -> float:

@@ -113,6 +113,13 @@ class PSBackend(CommBackend):
         #: Fully synchronised chunks — the final parameter state.
         self.completed_keys: Set[Tuple[int, int, int]] = set()
         self.bytes_completed = 0.0
+        #: Per-(iteration, layer) completed bytes — the gradient-byte
+        #: conservation ledger the chaos oracle checks against the
+        #: model's layer sizes.
+        self.layer_bytes_completed: Dict[Tuple[int, int], float] = {}
+        #: Invariant hook: called with each chunk key exactly once, at
+        #: the moment the chunk completes (None = no oracle attached).
+        self.on_complete: Optional[Callable[[Tuple[int, int, int]], None]] = None
         self._since_checkpoint: Dict[str, float] = {s: 0.0 for s in self.servers}
         #: Optional metrics instruments (see :meth:`attach_metrics`).
         self._obs: Optional[_BackendInstruments] = None
@@ -410,10 +417,16 @@ class PSBackend(CommBackend):
         del self._pending[key]
         self.completed_keys.add(key)
         self.bytes_completed += state.spec.size
+        bucket = (state.spec.iteration, state.spec.layer)
+        self.layer_bytes_completed[bucket] = (
+            self.layer_bytes_completed.get(bucket, 0.0) + state.spec.size
+        )
         server = self.server_for(state.spec)
         self._since_checkpoint[server] = (
             self._since_checkpoint.get(server, 0.0) + state.spec.size
         )
+        if self.on_complete is not None:
+            self.on_complete(key)
 
     # -- crash recovery ----------------------------------------------------
 
@@ -482,6 +495,19 @@ class PSBackend(CommBackend):
             (durable if state.pulled else lost).append(key)
         return lost, durable
 
+    def orphaned(self, key: Tuple[int, int, int]) -> bool:
+        """True when nothing server-side knows about ``key``.
+
+        A push in flight to a dying server whose delivery was dropped
+        by liveness never formed a :class:`_ChunkState`, so the key is
+        in neither the pending ledger nor the completed set — from the
+        backend's view it does not exist, yet the worker's scheduler
+        still carries its flight.  Such orphans must be drained by the
+        scheduler or they hang forever (no retry policy fires for
+        them).
+        """
+        return key not in self._pending and key not in self.completed_keys
+
     def forget_chunks(self, keys) -> float:
         """Drop server-side state for crash-lost chunks (re-pushed
         later); returns the bytes of aggregation work thrown away."""
@@ -506,6 +532,19 @@ class PSBackend(CommBackend):
         _lost, durable = self.pending_on_server(server)
         pending = sum(self._pending[key].spec.size for key in durable)
         return self._since_checkpoint.get(server, 0.0) + pending
+
+    def durable_homes(self, keys) -> Dict[str, float]:
+        """Group still-pending durable ``keys`` by their *current* home
+        server (after any remap); returns ``{server: bytes}`` for the
+        resync accounting of a permanent-death migration."""
+        homes: Dict[str, float] = {}
+        for key in keys:
+            state = self._pending.get(key)
+            if state is None:
+                continue
+            home = self.server_for(state.spec)
+            homes[home] = homes.get(home, 0.0) + state.spec.size
+        return homes
 
     def reissue_pulls(self, server: str) -> int:
         """After restart + re-sync, re-send pulls for durable chunks to

@@ -428,6 +428,7 @@ class ByteSchedulerCore:
         self,
         node: Optional[str] = None,
         keys: Optional[Iterable[Tuple[int, int, int]]] = None,
+        orphans=None,
     ) -> List[SubCommTask]:
         """Cancel in-flight partitions that depend on dead ``node``.
 
@@ -438,8 +439,12 @@ class ByteSchedulerCore:
         their original priority.  ``keys`` restricts the drain to
         specific ``(iteration, layer, chunk)`` keys (partitions whose
         server-side state was lost), leaving durable ones in flight.
-        ``node=None`` drains every flight (this core's own worker died:
-        whatever it had in the air died with it).
+        ``orphans`` widens a keyed drain: a predicate over chunk keys
+        matching flights whose push died on the wire before any
+        server-side state formed — invisible to the backend's pending
+        ledger, yet hung forever if left in flight.  ``node=None``
+        drains every flight (this core's own worker died: whatever it
+        had in the air died with it).
         """
         key_set = None if keys is None else set(keys)
         drained: List[SubCommTask] = []
@@ -450,7 +455,8 @@ class ByteSchedulerCore:
             if node is not None and self.backend.chunk_targets(chunk) != node:
                 continue
             if key_set is not None and chunk.key not in key_set:
-                continue
+                if orphans is None or not orphans(chunk.key):
+                    continue
             self._cancel(flight)
             drained.append(subtask)
         self.drained_subtasks += len(drained)

@@ -37,6 +37,38 @@ class ConfigError(ReproError):
     """An experiment, cluster, or model configuration is invalid."""
 
 
+class FaultPlanError(ConfigError):
+    """A ``--fault-plan`` spec failed to parse.
+
+    Subclasses :class:`ConfigError` so existing handlers keep working,
+    but carries enough structure for a clean CLI message: ``clause`` is
+    the offending clause text and ``position`` its 1-based index within
+    the semicolon-separated spec.
+    """
+
+    def __init__(
+        self, description: str, clause: str = "", position: int = 0
+    ) -> None:
+        super().__init__(description)
+        self.clause = clause
+        self.position = position
+
+
+class InvariantViolation(ReproError):
+    """A chaos-oracle invariant failed during or after a faulted run.
+
+    ``invariant`` names the check (e.g. ``credit-conservation``) and
+    ``details`` carries the structured evidence the check gathered.
+    """
+
+    def __init__(
+        self, invariant: str, description: str, details: object = None
+    ) -> None:
+        super().__init__(f"[{invariant}] {description}")
+        self.invariant = invariant
+        self.details = details
+
+
 class SchedulerError(ReproError):
     """The communication scheduler was driven through an illegal state.
 

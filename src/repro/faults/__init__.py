@@ -12,6 +12,7 @@ from repro.faults.inject import apply_fault_plan, make_straggler_scale
 from repro.faults.plan import (
     CrashFault,
     FaultPlan,
+    IntegrityFault,
     LinkFault,
     StragglerFault,
     TransportFault,
@@ -22,6 +23,7 @@ from repro.faults.plan import (
 __all__ = [
     "CrashFault",
     "FaultPlan",
+    "IntegrityFault",
     "LinkFault",
     "StragglerFault",
     "TransportFault",

@@ -25,8 +25,13 @@ from typing import TYPE_CHECKING, Tuple
 
 from repro.errors import ConfigError
 from repro.net.fabric import Fabric
-from repro.net.transport import FaultyTransport
+from repro.net.transport import FaultyTransport, LinkIntegrityInjector
 from repro.faults.plan import FaultPlan, merge_windows
+
+#: Knuth multiplicative hash, decorrelating the integrity RNG stream
+#: from the transport-fault stream without str/tuple seeds (which vary
+#: with PYTHONHASHSEED).
+_INTEGRITY_SEED_SALT = 2654435761
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.training.job import TrainingJob
@@ -109,6 +114,50 @@ def _apply_to_fabric(fabric: Fabric, plan: FaultPlan, rng: random.Random) -> Non
         for nic in fabric.nics.values():
             nic.uplink.transport = faulty
             nic.downlink.transport = faulty
+    if plan.integrity:
+        _install_integrity(fabric, plan)
+
+
+def _integrity_rng(plan: FaultPlan) -> random.Random:
+    """Seeded RNG for integrity draws, decorrelated from the transport
+    stream (same plan seed, different fault history)."""
+    return random.Random(plan.seed * _INTEGRITY_SEED_SALT % 2**32 + 1)
+
+
+def _install_integrity(fabric: Fabric, plan: FaultPlan) -> None:
+    """Arm per-link injectors and the fabric's delivery guard.
+
+    All injectors share one seeded RNG (draws happen in deterministic
+    FIFO transmit order), one stats block, and the fabric's pending-
+    duplicate set; the guard holds the receiver side of the protocol.
+    """
+    for fault in plan.integrity:
+        if fault.node not in fabric.nics:
+            raise ConfigError(
+                f"fault plan names unknown node {fault.node!r}; "
+                f"nodes are {fabric.nodes}"
+            )
+    guard = fabric.enable_integrity()
+    rng = _integrity_rng(plan)
+    for node in fabric.nodes:
+        targets = (
+            ("up", fabric.nic(node).uplink),
+            ("down", fabric.nic(node).downlink),
+            ("loop", fabric.loopback(node)),
+        )
+        for direction, link in targets:
+            corrupt = plan.integrity_windows(node, direction, "corrupt")
+            dup = plan.integrity_windows(node, direction, "dup")
+            reorder = plan.integrity_windows(node, direction, "reorder")
+            if corrupt or dup or reorder:
+                link.integrity = LinkIntegrityInjector(
+                    rng,
+                    guard.stats,
+                    corrupt=corrupt,
+                    dup=dup,
+                    reorder=reorder,
+                    dup_pending=fabric.dup_pending,
+                )
 
 
 def _apply_to_collective(backend, plan: FaultPlan, rng: random.Random) -> None:
@@ -129,3 +178,11 @@ def _apply_to_collective(backend, plan: FaultPlan, rng: random.Random) -> None:
         backend.set_fault_windows(merge_windows(windows))
     if plan.transport.active and plan.transport.loss_probability > 0:
         backend.set_loss(plan.transport.loss_probability, rng)
+    if plan.integrity:
+        for fault in plan.integrity:
+            if fault.node not in backend.workers:
+                raise ConfigError(
+                    f"fault plan names unknown node {fault.node!r}; "
+                    f"all-reduce nodes are {list(backend.workers)}"
+                )
+        backend.set_integrity(plan.integrity, _integrity_rng(plan))

@@ -31,7 +31,15 @@ Clauses are semicolon-separated:
 * ``loss:<probability>`` (optionally ``loss:<p>@<penalty_seconds>``)
 * ``delay:<probability>@<seconds>``
 * ``crash:<node>@<t>[+<restart_delay>]``
+* ``corrupt:<node>.<up|down|loop>@<start>-<end>%<rate>``
+* ``dup:<node>.<up|down|loop>@<start>-<end>%<rate>``
+* ``reorder:<node>.<up|down|loop>@<start>-<end>%<rate>``
 * ``seed:<int>``
+
+Malformed clauses raise :class:`~repro.errors.FaultPlanError` naming
+the clause and its position, and :meth:`FaultPlan.to_spec` emits the
+canonical grammar string so ``parse(plan.to_spec()) == plan`` for any
+grammar-expressible plan.
 """
 
 from __future__ import annotations
@@ -40,10 +48,11 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FaultPlanError
 
 __all__ = [
     "CrashFault",
+    "IntegrityFault",
     "LinkFault",
     "StragglerFault",
     "TransportFault",
@@ -53,6 +62,7 @@ __all__ = [
 ]
 
 _DIRECTIONS = ("up", "down", "loop", "both")
+_INTEGRITY_KINDS = ("corrupt", "dup", "reorder")
 
 
 @dataclass(frozen=True)
@@ -146,6 +156,48 @@ class CrashFault:
 
 
 @dataclass(frozen=True)
+class IntegrityFault:
+    """Probabilistic data-plane damage on one direction of one node's
+    links during a window.
+
+    ``kind`` is one of ``corrupt`` (the message's checksum no longer
+    matches its contents — the receiver NACKs and the sender
+    retransmits), ``dup`` (the network delivers an extra copy — the
+    receiver's dedup window absorbs it), or ``reorder`` (the message is
+    held back in the switch and delivered late, behind younger
+    traffic).  ``rate`` is the per-message probability, drawn from the
+    plan's seeded RNG at transmission time.
+    """
+
+    kind: str
+    node: str
+    direction: str  # 'up', 'down', 'loop', or 'both'
+    start: float
+    end: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in _INTEGRITY_KINDS:
+            raise ConfigError(
+                f"integrity fault kind must be one of {_INTEGRITY_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.direction not in _DIRECTIONS:
+            raise ConfigError(
+                f"integrity fault direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        if not 0.0 < self.rate < 1.0:
+            raise ConfigError(
+                f"integrity fault rate must be in (0, 1), got {self.rate!r}"
+            )
+        if not 0.0 <= self.start < self.end:
+            raise ConfigError(
+                f"invalid integrity window [{self.start!r}, {self.end!r})"
+            )
+
+
+@dataclass(frozen=True)
 class TransportFault:
     """Probabilistic per-message loss and delay at the transport layer.
 
@@ -186,6 +238,7 @@ class FaultPlan:
     stragglers: Tuple[StragglerFault, ...] = ()
     transport: TransportFault = field(default_factory=TransportFault)
     crashes: Tuple[CrashFault, ...] = ()
+    integrity: Tuple[IntegrityFault, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -205,6 +258,7 @@ class FaultPlan:
             not self.link_faults
             and not self.stragglers
             and not self.crashes
+            and not self.integrity
             and not self.transport.active
         )
 
@@ -234,6 +288,21 @@ class FaultPlan:
             )
         )
 
+    def integrity_windows(
+        self, node: str, direction: str, kind: str
+    ) -> Tuple[Tuple[float, float, float], ...]:
+        """Sorted ``(start, end, rate)`` windows of one integrity fault
+        kind on one link (overlaps are allowed — draws compose)."""
+        return tuple(
+            sorted(
+                (fault.start, fault.end, fault.rate)
+                for fault in self.integrity
+                if fault.kind == kind
+                and fault.node == node
+                and fault.direction in (direction, "both")
+            )
+        )
+
     def with_seed(self, seed: int) -> "FaultPlan":
         """The same schedule drawn from a different RNG stream."""
         return replace(self, seed=seed)
@@ -260,6 +329,11 @@ class FaultPlan:
                 )
             else:
                 parts.append(f"crash {crash.node} @{crash.time:g} (permanent)")
+        for fault in self.integrity:
+            parts.append(
+                f"{fault.kind} {fault.node}.{fault.direction} "
+                f"p={fault.rate:g} [{fault.start:g}, {fault.end:g})"
+            )
         if self.transport.loss_probability:
             parts.append(f"loss p={self.transport.loss_probability:g}")
         if self.transport.delay_probability:
@@ -273,100 +347,205 @@ class FaultPlan:
 
     # -- CLI grammar -------------------------------------------------------
 
+    def to_spec(self) -> str:
+        """The canonical ``--fault-plan`` grammar string for this plan.
+
+        Inverse of :meth:`parse` for every grammar-expressible plan:
+        ``FaultPlan.parse(plan.to_spec()) == plan``.  (Fields the
+        grammar cannot express — a non-default ``max_losses``, a custom
+        retransmit penalty with zero loss — are not emitted.)
+        """
+        clauses: List[str] = []
+        for fault in self.stragglers:
+            clauses.append(
+                f"straggler:{fault.worker}@{_span(fault.start, fault.end)}"
+                f"x{fault.slowdown:g}"
+            )
+        for fault in self.link_faults:
+            target = f"{fault.node}.{fault.direction}"
+            if fault.rate_factor == 0.0:
+                clauses.append(
+                    f"blackout:{target}@{_span(fault.start, fault.end)}"
+                )
+            else:
+                clauses.append(
+                    f"slowlink:{target}@{_span(fault.start, fault.end)}"
+                    f"x{fault.rate_factor:g}"
+                )
+        for crash in self.crashes:
+            clause = f"crash:{crash.node}@{crash.time:g}"
+            if crash.restarts:
+                clause += f"+{crash.restart_delay:g}"
+            clauses.append(clause)
+        for fault in self.integrity:
+            clauses.append(
+                f"{fault.kind}:{fault.node}.{fault.direction}"
+                f"@{_span(fault.start, fault.end)}%{fault.rate:g}"
+            )
+        if self.transport.loss_probability:
+            clauses.append(
+                f"loss:{self.transport.loss_probability:g}"
+                f"@{self.transport.retransmit_penalty:g}"
+            )
+        if self.transport.delay_probability:
+            clauses.append(
+                f"delay:{self.transport.delay_probability:g}"
+                f"@{self.transport.delay:g}"
+            )
+        clauses.append(f"seed:{self.seed:d}")
+        return ";".join(clauses)
+
     @classmethod
     def parse(cls, spec: str) -> "FaultPlan":
-        """Parse the compact ``--fault-plan`` grammar (see module doc)."""
+        """Parse the compact ``--fault-plan`` grammar (see module doc).
+
+        Malformed clauses raise :class:`~repro.errors.FaultPlanError`
+        naming the offending clause and its 1-based position.
+        """
         link_faults: List[LinkFault] = []
         stragglers: List[StragglerFault] = []
         crashes: List[CrashFault] = []
+        integrity: List[IntegrityFault] = []
         transport = TransportFault()
         seed = 0
+        position = 0
         for raw in spec.split(";"):
             clause = raw.strip()
             if not clause:
                 continue
-            if ":" not in clause:
-                raise ConfigError(f"malformed fault clause {clause!r}")
-            kind, _, body = clause.partition(":")
-            kind = kind.strip().lower()
-            body = body.strip()
-            if kind == "seed":
-                seed = int(body)
-            elif kind == "straggler":
-                target, window = _split_at(body, clause)
-                (start, end), slowdown = _parse_window(window, clause, factor=True)
-                stragglers.append(StragglerFault(target, start, end, slowdown))
-            elif kind in ("slowlink", "blackout"):
-                target, window = _split_at(body, clause)
-                node, _, direction = target.rpartition(".")
-                if not node:
+            position += 1
+            try:
+                if ":" not in clause:
                     raise ConfigError(
-                        f"{clause!r}: link target must be <node>.<up|down|loop>"
+                        "expected <kind>:<body> (e.g. crash:s0@0.2)"
                     )
-                if kind == "blackout":
-                    start, end = _parse_window(window, clause, factor=False)
-                    link_faults.append(LinkFault(node, direction, start, end, 0.0))
+                kind, _, body = clause.partition(":")
+                kind = kind.strip().lower()
+                body = body.strip()
+                if kind == "seed":
+                    seed = int(body)
+                elif kind == "straggler":
+                    target, window = _split_at(body)
+                    (start, end), slowdown = _parse_window(window, factor=True)
+                    stragglers.append(
+                        StragglerFault(target, start, end, slowdown)
+                    )
+                elif kind in ("slowlink", "blackout"):
+                    target, window = _split_at(body)
+                    node, direction = _split_link(target)
+                    if kind == "blackout":
+                        start, end = _parse_window(window, factor=False)
+                        link_faults.append(
+                            LinkFault(node, direction, start, end, 0.0)
+                        )
+                    else:
+                        (start, end), factor = _parse_window(window, factor=True)
+                        link_faults.append(
+                            LinkFault(node, direction, start, end, factor)
+                        )
+                elif kind == "crash":
+                    target, window = _split_at(body)
+                    time_text, sep, delay_text = window.partition("+")
+                    if not time_text:
+                        raise ConfigError(
+                            "expected crash:<node>@<t>[+<restart_delay>]"
+                        )
+                    restart_delay = float(delay_text) if sep else None
+                    crashes.append(
+                        CrashFault(target, float(time_text), restart_delay)
+                    )
+                elif kind in _INTEGRITY_KINDS:
+                    target, window = _split_at(body)
+                    node, direction = _split_link(target)
+                    span, sep, rate_text = window.partition("%")
+                    if not sep:
+                        raise ConfigError(
+                            f"expected {kind}:<node>.<dir>@<start>-<end>%<rate>"
+                        )
+                    start, end = _parse_window(span, factor=False)
+                    integrity.append(
+                        IntegrityFault(
+                            kind, node, direction, start, end, float(rate_text)
+                        )
+                    )
+                elif kind == "loss":
+                    prob, _, penalty = body.partition("@")
+                    transport = replace(
+                        transport,
+                        loss_probability=float(prob),
+                        retransmit_penalty=(
+                            float(penalty)
+                            if penalty
+                            else transport.retransmit_penalty
+                        ),
+                    )
+                elif kind == "delay":
+                    prob, _, seconds = body.partition("@")
+                    if not seconds:
+                        raise ConfigError(
+                            "delay needs a duration, e.g. delay:0.1@0.002"
+                        )
+                    transport = replace(
+                        transport,
+                        delay_probability=float(prob),
+                        delay=float(seconds),
+                    )
                 else:
-                    (start, end), factor = _parse_window(window, clause, factor=True)
-                    link_faults.append(LinkFault(node, direction, start, end, factor))
-            elif kind == "crash":
-                target, window = _split_at(body, clause)
-                time_text, sep, delay_text = window.partition("+")
-                if not time_text:
-                    raise ConfigError(
-                        f"{clause!r}: expected crash:<node>@<t>[+<restart_delay>]"
-                    )
-                restart_delay = float(delay_text) if sep else None
-                crashes.append(CrashFault(target, float(time_text), restart_delay))
-            elif kind == "loss":
-                prob, _, penalty = body.partition("@")
-                transport = replace(
-                    transport,
-                    loss_probability=float(prob),
-                    retransmit_penalty=(
-                        float(penalty) if penalty else transport.retransmit_penalty
-                    ),
-                )
-            elif kind == "delay":
-                prob, _, seconds = body.partition("@")
-                if not seconds:
-                    raise ConfigError(
-                        f"{clause!r}: delay needs a duration, e.g. delay:0.1@0.002"
-                    )
-                transport = replace(
-                    transport,
-                    delay_probability=float(prob),
-                    delay=float(seconds),
-                )
-            else:
-                raise ConfigError(f"unknown fault kind {kind!r} in {clause!r}")
-        return cls(
-            link_faults=tuple(link_faults),
-            stragglers=tuple(stragglers),
-            transport=transport,
-            crashes=tuple(crashes),
-            seed=seed,
-        )
+                    raise ConfigError(f"unknown fault kind {kind!r}")
+            except FaultPlanError:
+                raise
+            except (ConfigError, ValueError) as exc:
+                raise FaultPlanError(
+                    f"fault plan clause {position} ({clause!r}): {exc}",
+                    clause=clause,
+                    position=position,
+                ) from exc
+        try:
+            return cls(
+                link_faults=tuple(link_faults),
+                stragglers=tuple(stragglers),
+                transport=transport,
+                crashes=tuple(crashes),
+                integrity=tuple(integrity),
+                seed=seed,
+            )
+        except FaultPlanError:
+            raise
+        except ConfigError as exc:
+            raise FaultPlanError(f"fault plan {spec!r}: {exc}") from exc
 
 
-def _split_at(body: str, clause: str) -> Tuple[str, str]:
+def _span(start: float, end: float) -> str:
+    """Canonical ``<start>-<end>`` text (``inf`` spelled out)."""
+    end_text = "inf" if math.isinf(end) else f"{end:g}"
+    return f"{start:g}-{end_text}"
+
+
+def _split_at(body: str) -> Tuple[str, str]:
     target, sep, window = body.partition("@")
     if not sep or not target:
-        raise ConfigError(f"{clause!r}: expected <target>@<start>-<end>...")
+        raise ConfigError("expected <target>@<start>-<end>...")
     return target, window
 
 
-def _parse_window(window: str, clause: str, factor: bool):
+def _split_link(target: str) -> Tuple[str, str]:
+    node, _, direction = target.rpartition(".")
+    if not node:
+        raise ConfigError("link target must be <node>.<up|down|loop>")
+    return node, direction
+
+
+def _parse_window(window: str, factor: bool):
     """``<start>-<end>[x<factor>]`` → ((start, end)[, factor])."""
     if factor:
         span, sep, value = window.partition("x")
         if not sep:
-            raise ConfigError(f"{clause!r}: expected ...x<factor>")
+            raise ConfigError("expected ...x<factor>")
     else:
         span, value = window, None
     start_text, sep, end_text = span.partition("-")
     if not sep:
-        raise ConfigError(f"{clause!r}: expected <start>-<end>")
+        raise ConfigError("expected <start>-<end>")
     start = float(start_text)
     end = math.inf if end_text.strip() in ("inf", "") else float(end_text)
     if factor:

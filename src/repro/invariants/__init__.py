@@ -1,0 +1,42 @@
+"""Chaos invariant oracle: pluggable safety checks for faulted runs.
+
+A :class:`ChaosOracle` attaches to a built
+:class:`~repro.training.job.TrainingJob` through the existing monitor
+hooks (the backend's ``on_complete`` callback and the job's ``drain``
+epilogue) and checks properties that must hold *no matter what the
+fault plan does*:
+
+* credit conservation — every Core's lent-byte ledger balances its
+  live flights (no leak, no double refund across drain/requeue);
+* gradient-byte conservation — per (iteration, layer), completed bytes
+  equal the layer's size exactly once (corruption, duplication, and
+  replay must not lose or double-apply gradient bytes);
+* single completion — no chunk key completes twice;
+* monotone clock — hook events never observe simulated time running
+  backwards.
+
+Violations raise a structured
+:class:`~repro.errors.InvariantViolation` naming the invariant, so the
+nightly chaos lane fails loudly instead of silently training on a
+corrupted state.
+"""
+
+from repro.invariants.oracle import (
+    ChaosOracle,
+    CreditConservation,
+    GradientByteConservation,
+    Invariant,
+    MonotoneClock,
+    SingleCompletion,
+    default_invariants,
+)
+
+__all__ = [
+    "ChaosOracle",
+    "CreditConservation",
+    "GradientByteConservation",
+    "Invariant",
+    "MonotoneClock",
+    "SingleCompletion",
+    "default_invariants",
+]

@@ -1,0 +1,283 @@
+"""The chaos oracle and its invariant checks.
+
+Each :class:`Invariant` gets two observation points: ``on_complete``
+fires from the backend's completion hook (every chunk key, exactly
+once, at simulated completion time), and ``verify`` runs once after the
+job drains.  Checks raise :class:`~repro.errors.InvariantViolation`
+with the invariant's name and enough detail to debug the fault plan
+that broke it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import InvariantViolation, SchedulerError
+
+__all__ = [
+    "Invariant",
+    "CreditConservation",
+    "GradientByteConservation",
+    "SingleCompletion",
+    "MonotoneClock",
+    "ChaosOracle",
+    "default_invariants",
+]
+
+
+class Invariant:
+    """One pluggable safety property.
+
+    Subclasses override any of the three hooks; all default to no-ops
+    so an invariant only pays for the observation points it uses.
+    """
+
+    name = "invariant"
+
+    def install(self, job) -> None:
+        """One-time setup against the built job (record expectations)."""
+
+    def on_complete(self, job, key: Tuple[int, int, int]) -> None:
+        """A chunk key completed (called at simulated completion time)."""
+
+    def verify(self, job) -> None:
+        """End-of-run check, after the job drained."""
+
+    def summary(self) -> Dict[str, float]:
+        """Counters for the run report."""
+        return {}
+
+
+class CreditConservation(Invariant):
+    """Every Core's lent-byte ledger balances its live flights.
+
+    Wraps :meth:`ByteSchedulerCore.check_credit_invariant` — the check
+    the drain/requeue machinery already maintains — re-raising its
+    :class:`SchedulerError` as a structured violation.  Checked at
+    every completion (cheap: O(in-flight partitions)) and at the end.
+    """
+
+    name = "credit-conservation"
+
+    def __init__(self) -> None:
+        self.checks = 0
+
+    def _check(self, job) -> None:
+        for core in job._unique_cores():
+            try:
+                core.check_credit_invariant()
+            except SchedulerError as exc:
+                raise InvariantViolation(
+                    self.name, str(exc), details={"core": core.name}
+                ) from exc
+        self.checks += 1
+
+    def on_complete(self, job, key) -> None:
+        self._check(job)
+
+    def verify(self, job) -> None:
+        self._check(job)
+
+    def summary(self) -> Dict[str, float]:
+        return {"checks": self.checks}
+
+
+class GradientByteConservation(Invariant):
+    """Per (iteration, layer), completed bytes equal the layer size.
+
+    Corruption must not lose gradient bytes, duplication and replay
+    must not double-apply them: the backend's completion ledger has to
+    land on *exactly* one layer's worth per iteration.  Excess is
+    flagged as soon as it appears; shortfall only at the end (partial
+    progress is normal mid-run).
+    """
+
+    name = "gradient-byte-conservation"
+
+    def __init__(self) -> None:
+        self._layer_bytes: Dict[int, float] = {}
+
+    def install(self, job) -> None:
+        self._layer_bytes = {
+            layer.index: float(layer.param_bytes) for layer in job.model.layers
+        }
+
+    def _ledger(self, job) -> Dict[Tuple[int, int], float]:
+        return getattr(job.backend, "layer_bytes_completed", {})
+
+    def on_complete(self, job, key) -> None:
+        iteration, layer, _chunk = key
+        expected = self._layer_bytes.get(layer)
+        if expected is None:
+            raise InvariantViolation(
+                self.name,
+                f"completed chunk for unknown layer {layer}",
+                details={"key": key},
+            )
+        completed = self._ledger(job).get((iteration, layer), 0.0)
+        if completed > expected * (1 + 1e-9) + 1e-6:
+            raise InvariantViolation(
+                self.name,
+                f"iteration {iteration} layer {layer} completed "
+                f"{completed:.0f}B of a {expected:.0f}B layer — gradient "
+                "bytes were double-applied",
+                details={"key": key, "completed": completed, "expected": expected},
+            )
+
+    def verify(self, job) -> None:
+        ledger = self._ledger(job)
+        for (iteration, layer), completed in sorted(ledger.items()):
+            expected = self._layer_bytes.get(layer, 0.0)
+            if not math.isclose(completed, expected, rel_tol=1e-9, abs_tol=1e-6):
+                raise InvariantViolation(
+                    self.name,
+                    f"iteration {iteration} layer {layer} completed "
+                    f"{completed:.0f}B, expected exactly {expected:.0f}B",
+                    details={
+                        "iteration": iteration,
+                        "layer": layer,
+                        "completed": completed,
+                        "expected": expected,
+                    },
+                )
+        # Every built iteration must have completed every layer.
+        for iteration in range(job._built_iterations):
+            for layer, expected in self._layer_bytes.items():
+                if (iteration, layer) not in ledger:
+                    raise InvariantViolation(
+                        self.name,
+                        f"iteration {iteration} layer {layer} never "
+                        "completed any gradient bytes",
+                        details={"iteration": iteration, "layer": layer},
+                    )
+
+    def summary(self) -> Dict[str, float]:
+        return {"layers_tracked": len(self._layer_bytes)}
+
+
+class SingleCompletion(Invariant):
+    """No chunk key completes twice.
+
+    Duplicated or replayed transfers must be absorbed before the
+    completion ledger — a double completion means a double optimizer
+    update on a real deployment.
+    """
+
+    name = "single-completion"
+
+    def __init__(self) -> None:
+        self._seen: Set[Tuple[int, int, int]] = set()
+
+    def on_complete(self, job, key) -> None:
+        if key in self._seen:
+            raise InvariantViolation(
+                self.name,
+                f"chunk {key} completed twice",
+                details={"key": key},
+            )
+        self._seen.add(key)
+
+    def summary(self) -> Dict[str, float]:
+        return {"completions": len(self._seen)}
+
+
+class MonotoneClock(Invariant):
+    """Simulated time never runs backwards across hook events."""
+
+    name = "monotone-clock"
+
+    def __init__(self) -> None:
+        self._last: Optional[float] = None
+
+    def on_complete(self, job, key) -> None:
+        now = job.env.now
+        if self._last is not None and now < self._last:
+            raise InvariantViolation(
+                self.name,
+                f"scheduler clock moved backwards: {self._last!r} -> {now!r}",
+                details={"key": key, "last": self._last, "now": now},
+            )
+        self._last = now
+
+    def verify(self, job) -> None:
+        self.on_complete(job, (-1, -1, -1))
+
+    def summary(self) -> Dict[str, float]:
+        return {"last_seen": self._last if self._last is not None else 0.0}
+
+
+def default_invariants() -> List[Invariant]:
+    """The full default check set (fresh instances)."""
+    return [
+        CreditConservation(),
+        GradientByteConservation(),
+        SingleCompletion(),
+        MonotoneClock(),
+    ]
+
+
+class ChaosOracle:
+    """Attach invariants to a job's monitor hooks and verify them.
+
+    Construction is cheap; :meth:`install` chains onto the backend's
+    ``on_complete`` hook (preserving any callback already there) and
+    lets each invariant record its expectations.  The job's ``drain``
+    calls :meth:`verify` once the run is over.
+    """
+
+    def __init__(self, invariants: Optional[Sequence[Invariant]] = None) -> None:
+        self.invariants: List[Invariant] = (
+            list(invariants) if invariants is not None else default_invariants()
+        )
+        self.job = None
+        self.violations = 0
+
+    def install(self, job) -> None:
+        if self.job is not None:
+            raise InvariantViolation(
+                "oracle", "a ChaosOracle can only be installed once"
+            )
+        self.job = job
+        for invariant in self.invariants:
+            invariant.install(job)
+        backend = job.backend
+        if hasattr(backend, "on_complete"):
+            inner = backend.on_complete
+
+            def hook(key, _inner=inner):
+                if _inner is not None:
+                    _inner(key)
+                self._on_complete(key)
+
+            backend.on_complete = hook
+
+    def _on_complete(self, key) -> None:
+        try:
+            for invariant in self.invariants:
+                invariant.on_complete(self.job, key)
+        except InvariantViolation:
+            self.violations += 1
+            raise
+
+    def verify(self, job=None) -> None:
+        """Run every invariant's end-of-run check."""
+        target = job if job is not None else self.job
+        if target is None:
+            raise InvariantViolation("oracle", "oracle was never installed")
+        try:
+            for invariant in self.invariants:
+                invariant.verify(target)
+        except InvariantViolation:
+            self.violations += 1
+            raise
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-invariant counters for the run report."""
+        return {
+            invariant.name: invariant.summary() for invariant in self.invariants
+        }
+
+    def __repr__(self) -> str:
+        names = ", ".join(invariant.name for invariant in self.invariants)
+        return f"<ChaosOracle [{names}] violations={self.violations}>"

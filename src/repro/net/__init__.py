@@ -10,7 +10,10 @@ from repro.net.link import Link
 from repro.net.message import Message
 from repro.net.nic import DuplexNIC
 from repro.net.transport import (
+    DeliveryGuard,
     FaultyTransport,
+    IntegrityStats,
+    LinkIntegrityInjector,
     LocalTransport,
     RDMATransport,
     TCPTransport,
@@ -27,4 +30,7 @@ __all__ = [
     "RDMATransport",
     "LocalTransport",
     "FaultyTransport",
+    "DeliveryGuard",
+    "IntegrityStats",
+    "LinkIntegrityInjector",
 ]

@@ -17,7 +17,11 @@ from repro.sim import Environment, Event, Trace
 from repro.net.link import Link
 from repro.net.message import Message
 from repro.net.nic import DuplexNIC
-from repro.net.transport import LocalTransport, Transport
+from repro.net.transport import (
+    DeliveryGuard,
+    LocalTransport,
+    Transport,
+)
 from repro.units import GB
 
 __all__ = ["Fabric", "TransferHandle"]
@@ -67,6 +71,12 @@ class Fabric:
         self._is_up = None
         #: Messages dropped because an endpoint was down.
         self.dropped = 0
+        #: Optional delivery guard (checksum/dedup/epoch protocol);
+        #: None keeps the fault-free path at a single attribute check.
+        self.guard: Optional[DeliveryGuard] = None
+        #: Uids the per-link injectors drew a duplicate for (shared
+        #: with every :class:`LinkIntegrityInjector` on this fabric).
+        self.dup_pending: set = set()
         self.nics: Dict[str, DuplexNIC] = {}
         self._loopbacks: Dict[str, Link] = {}
         self._nodes_cache: Optional[List[str]] = None
@@ -124,11 +134,46 @@ class Fabric:
         """
         self._is_up = is_up
 
+    def enable_integrity(
+        self,
+        window: Optional[int] = None,
+        max_retransmits: Optional[int] = None,
+    ) -> DeliveryGuard:
+        """Turn on the delivery protocol (idempotent).
+
+        Every subsequent transfer is stamped with an ``(epoch, seq)``
+        header and a checksum; arriving messages pass the guard's
+        stale/corrupt/dup classification, and corrupt deliveries are
+        NACK-retransmitted.  Returns the guard (for counters and
+        incarnation bumps).
+        """
+        if self.guard is None:
+            kwargs = {}
+            if window is not None:
+                kwargs["window"] = window
+            if max_retransmits is not None:
+                kwargs["max_retransmits"] = max_retransmits
+            self.guard = DeliveryGuard(**kwargs)
+        return self.guard
+
+    def bump_incarnation(self, node: str) -> None:
+        """A node restarted: fence off messages from its previous life
+        (no-op when the delivery protocol is not enabled)."""
+        if self.guard is not None:
+            self.guard.bump_incarnation(node)
+
     def _node_up(self, node: str) -> bool:
         return self._is_up is None or self._is_up(node)
 
     def _drop(self, message: Message, where: str) -> None:
         self.dropped += 1
+        if self.guard is not None:
+            self.guard.record_loss(message)
+            if message.uid in self.dup_pending:
+                # The frame died before the switch could forge its
+                # queued duplicate: the extra copy dies with it.
+                self.dup_pending.discard(message.uid)
+                self.guard.stats.dup_lost += 1
         if self.trace is not None:
             self.trace.point(
                 "drop", f"{message.kind}:{message.src}->{message.dst}@{where}"
@@ -146,24 +191,31 @@ class Fabric:
             raise KeyError(f"unknown source node {message.src!r}")
         if message.dst not in self.nics:
             raise KeyError(f"unknown destination node {message.dst!r}")
-
         delivered = self.env.event()
+        if self.guard is not None and message.checksum is None:
+            self.guard.stamp(message)
+        sent = self._launch(message, delivered)
+        return TransferHandle(sent=sent, delivered=delivered)
+
+    def _launch(self, message: Message, delivered: Event) -> Event:
+        """Put one copy of ``message`` on the wire toward ``delivered``
+        (also the NACK-retransmit re-entry point)."""
         if not self._node_up(message.src):
             self._drop(message, "src")
-            return TransferHandle(sent=self.env.event(), delivered=delivered)
+            return self.env.event()
         if message.src == message.dst:
+            checksum_at_switch = message.checksum
             hop = self._loopbacks[message.src].transmit(message)
-            hop.callbacks.append(lambda _evt: delivered.succeed(message))
-            return TransferHandle(sent=hop, delivered=delivered)
+            hop.callbacks.append(
+                lambda _evt: self._deliver(message, delivered)
+            )
+            self._maybe_duplicate(
+                message, delivered, local=True, checksum=checksum_at_switch
+            )
+            return hop
 
         uplink = self.nics[message.src].uplink
         downlink = self.nics[message.dst].downlink
-
-        def _deliver(_evt: Event) -> None:
-            if not self._node_up(message.dst):
-                self._drop(message, "dst")
-                return
-            delivered.succeed(message)
 
         def _after_uplink(_evt: Event) -> None:
             if not self._node_up(message.src) or not self._node_up(message.dst):
@@ -173,15 +225,108 @@ class Fabric:
                 return
             # The switch cuts the message through: bytes streamed into
             # the destination while the uplink serialised them, so an
-            # idle downlink delivers just one hop latency later.
+            # idle downlink delivers just one hop latency later.  The
+            # checksum is captured here — a duplicate is forged from the
+            # frame as the switch received it, before the original's own
+            # downlink hop can corrupt it.
+            checksum_at_switch = message.checksum
             hop2 = downlink.transmit_cut_through(
                 message, available_at=self.env.now + self.hop_latency
             )
-            hop2.callbacks.append(_deliver)
+            hop2.callbacks.append(
+                lambda _evt2: self._deliver(message, delivered)
+            )
+            self._maybe_duplicate(
+                message, delivered, local=False, checksum=checksum_at_switch
+            )
 
         sent = uplink.transmit(message)
         sent.callbacks.append(_after_uplink)
-        return TransferHandle(sent=sent, delivered=delivered)
+        return sent
+
+    def _maybe_duplicate(
+        self,
+        message: Message,
+        delivered: Event,
+        local: bool,
+        checksum: Optional[int] = None,
+    ) -> None:
+        """Inject the extra copy a link's injector drew for this uid.
+
+        The duplicate consumes real delivery bandwidth — it re-enters
+        the destination's downlink (or loopback) behind the original —
+        and then faces the guard's dedup window like any arrival.
+        ``checksum`` is the original's checksum as it entered the
+        switch; the copy's own delivery hop rolls its own corruption.
+        """
+        if not self.dup_pending or message.uid not in self.dup_pending:
+            return
+        self.dup_pending.discard(message.uid)
+        copy = Message(
+            message.src,
+            message.dst,
+            message.size,
+            payload=message.payload,
+            kind=message.kind,
+            uid=message.uid,
+            epoch=message.epoch,
+            duplicate=True,
+        )
+        copy.checksum = checksum if checksum is not None else message.checksum
+        if (
+            self.guard is not None
+            and copy.checksum is not None
+            and not copy.checksum_ok()
+        ):
+            # The switch duplicated an already-damaged frame: a second
+            # corrupted copy is now on the wire.
+            self.guard.stats.corrupt_injected += 1
+        if local:
+            hop = self._loopbacks[message.src].transmit(copy)
+        else:
+            hop = self.nics[message.dst].downlink.transmit_cut_through(
+                copy, available_at=self.env.now + self.hop_latency
+            )
+        hop.callbacks.append(lambda _evt: self._deliver(copy, delivered))
+
+    def _deliver(self, message: Message, delivered: Event) -> None:
+        """The delivery point: liveness, then the guard's verdict."""
+        if not self._node_up(message.dst):
+            self._drop(message, "dst")
+            return
+        guard = self.guard
+        if guard is not None:
+            verdict = guard.admit(message)
+            if verdict == "corrupt":
+                if self.trace is not None:
+                    self.trace.point(
+                        "integrity.corrupt",
+                        f"{message.kind}:{message.src}->{message.dst}",
+                    )
+                if guard.should_retransmit(message):
+                    if self.trace is not None:
+                        self.trace.point(
+                            "integrity.retransmit",
+                            f"{message.kind}:{message.src}->{message.dst}",
+                        )
+                    self._launch(message.clone_for_retransmit(), delivered)
+                return
+            if verdict == "stale":
+                if self.trace is not None:
+                    self.trace.point(
+                        "integrity.stale",
+                        f"{message.kind}:{message.src}->{message.dst}",
+                    )
+                return
+            if verdict == "dup":
+                if self.trace is not None:
+                    self.trace.point(
+                        "integrity.dup",
+                        f"{message.kind}:{message.src}->{message.dst}",
+                    )
+                return
+        if not delivered.triggered:
+            delivered.succeed(message)
 
     def reset_counters(self) -> None:
         """Zero all NIC and loopback counters (e.g. after warm-up)."""

@@ -47,6 +47,9 @@ class Link:
         #: Degradation windows imposed by a fault plan: sorted, disjoint
         #: (start, end, rate_factor) triples; empty = healthy.
         self._fault_windows: Tuple[Tuple[float, float, float], ...] = _NO_WINDOWS
+        #: Optional :class:`~repro.net.transport.LinkIntegrityInjector`
+        #: drawing corrupt/dup/reorder fates for messages on this link.
+        self.integrity = None
         #: Totals for utilisation accounting.
         self.bytes_sent = 0.0
         self.messages_sent = 0
@@ -74,6 +77,16 @@ class Link:
         """
         self._fault_windows = tuple(windows)
 
+    def _integrity_delay(self, message: Message, now: float) -> float:
+        """Roll the integrity injector (corrupt flips the checksum in
+        place, dup is queued for the fabric) and return any reorder
+        delay — extra switch-buffer time added to *delivery* without
+        occupying the link."""
+        outcome = self.integrity.roll(message, now)
+        if outcome.dup:
+            self.integrity.dup_pending.add(message.uid)
+        return outcome.reorder_delay
+
     def _service_end(self, start: float, service: float) -> float:
         """When ``service`` seconds of full-rate work finish, given the
         degradation windows."""
@@ -96,6 +109,9 @@ class Link:
         self.bytes_sent += message.size
         self.messages_sent += 1
         self.busy_time += end - start
+        extra = 0.0
+        if self.integrity is not None:
+            extra = self._integrity_delay(message, now)
         if self.trace is not None:
             self.trace.span(
                 "link",
@@ -106,7 +122,7 @@ class Link:
                 size=message.size,
                 kind=message.kind,
             )
-        return env.timeout(end - now, value=message)
+        return env.timeout(end - now + extra, value=message)
 
     def transmit_cut_through(self, message: Message, available_at: float) -> Event:
         """Enqueue a message whose bytes *streamed in* while an upstream
@@ -135,6 +151,9 @@ class Link:
         # upstream bytes), the tail [serialise_end, end] is idle wait,
         # not transmission — counting it overstated utilisation.
         self.busy_time += serialise_end - start
+        extra = 0.0
+        if self.integrity is not None:
+            extra = self._integrity_delay(message, now)
         if self.trace is not None:
             self.trace.span(
                 "link",
@@ -145,7 +164,7 @@ class Link:
                 size=message.size,
                 kind=message.kind,
             )
-        return env.timeout(max(0.0, end - now), value=message)
+        return env.timeout(max(0.0, end - now) + extra, value=message)
 
     def reset_counters(self) -> None:
         """Zero the byte/message/busy counters (e.g. after warm-up)."""

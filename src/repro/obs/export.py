@@ -213,6 +213,7 @@ def summarize_trace(events: List[Dict[str, Any]], top: int = 5) -> str:
     processes: Dict[int, str] = {}
     complete: List[Dict[str, Any]] = []
     instants = 0
+    instant_counts: Dict[str, int] = defaultdict(int)
     for event in events:
         phase = event.get("ph")
         if phase == "M":
@@ -224,6 +225,7 @@ def summarize_trace(events: List[Dict[str, Any]], top: int = 5) -> str:
             complete.append(event)
         elif phase == "i":
             instants += 1
+            instant_counts[event.get("cat", "?")] += 1
     if not complete and not instants:
         return "empty trace (no events)"
 
@@ -247,6 +249,13 @@ def summarize_trace(events: List[Dict[str, Any]], top: int = 5) -> str:
         lines.append(
             f"{category:<12} {len(spans):>7} {busy / 1e3:>10.3f} {share:>6.1f}%"
         )
+    if instant_counts:
+        # Point events carry the delivery-protocol and recovery story:
+        # retransmits, stale-epoch drops, dedup absorptions, crashes.
+        lines.append("")
+        lines.append(f"{'events':<22} {'count':>7}")
+        for category in sorted(instant_counts):
+            lines.append(f"{category:<22} {instant_counts[category]:>7}")
     longest = sorted(complete, key=lambda event: event.get("dur", 0.0), reverse=True)
     lines.append("")
     lines.append(f"longest {min(top, len(longest))} events:")

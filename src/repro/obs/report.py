@@ -43,6 +43,11 @@ class RunReport:
     #: Crash-recovery accounting (empty when the plan has no crashes):
     #: recovery time, replayed iterations, lost work, re-sync bytes.
     recovery: Dict[str, float] = field(default_factory=dict)
+    #: Delivery-protocol accounting (empty when the guard is off):
+    #: corrupt/dup/reorder injections, detections, retransmits,
+    #: stale-epoch drops — plus the oracle's per-invariant counters
+    #: under ``"invariants"`` when a ChaosOracle is attached.
+    integrity: Dict[str, Any] = field(default_factory=dict)
     #: Per-link byte/busy totals (PS fabric only).
     links: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Per-iteration samples from the metrics registry, when enabled.
@@ -111,6 +116,21 @@ def build_run_report(job, result) -> RunReport:
                     ),
                 }
 
+    integrity: Dict[str, Any] = {}
+    guard = job.fabric.guard if job.fabric is not None else None
+    stats = (
+        guard.stats
+        if guard is not None
+        else getattr(job.backend, "integrity_stats", None)
+    )
+    if stats is not None:
+        integrity = dict(stats.to_dict())
+        integrity["accounted"] = stats.accounted()
+    oracle = getattr(job, "oracle", None)
+    if oracle is not None:
+        integrity["invariants"] = oracle.summary()
+        integrity["violations"] = oracle.violations
+
     registry = getattr(job, "metrics", None)
     metrics_dump: Dict[str, Any] = {}
     iteration_samples: List[Dict[str, float]] = []
@@ -145,6 +165,7 @@ def build_run_report(job, result) -> RunReport:
             if getattr(job, "recovery", None) is not None
             else {}
         ),
+        integrity=integrity,
         links=links,
         iterations=iteration_samples,
         metrics=metrics_dump,

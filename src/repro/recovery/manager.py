@@ -239,10 +239,6 @@ class RecoveryManager:
         permanent = self.liveness.is_permanent(server)
         lost, durable = backend.pending_on_server(server)
         if permanent:
-            # No restart is coming: the shard remaps to the survivors,
-            # which hold none of its state — everything restarts.
-            backend.mark_server_dead(server)
-            lost = sorted(lost + durable)
             self._stats["permanent_failures"] += 1
         else:
             for core in job._unique_cores():
@@ -250,20 +246,70 @@ class RecoveryManager:
         self._stats["lost_work_bytes"] += backend.forget_chunks(lost)
         drained: List[List] = []
         for core in job._unique_cores():
-            # Permanent death remapped the shard already, so the flights
-            # are matched by chunk key rather than by target node.
-            subtasks = core.drain(None if permanent else server, keys=lost)
+            # Drain by the *pre-remap* target: flights carrying chunks
+            # whose state was forgotten, plus orphans — pushes dropped
+            # on the wire before any server-side state formed, which
+            # the pending ledger cannot see but which would otherwise
+            # hang in flight forever.
+            subtasks = core.drain(server, keys=lost, orphans=backend.orphaned)
             drained.append(subtasks)
             self._record_replays(subtasks)
-            if permanent and subtasks:
-                core.requeue(subtasks)
-        if not permanent:
+        if permanent:
+            # Remap only after the drain matched flights against the
+            # dead server, then restart the lost work on survivors.
+            # Durable chunks are *not* re-aggregated: workers that
+            # already pulled them will never re-push, so the barrier
+            # could never re-form — they migrate instead.
+            backend.mark_server_dead(server)
+            for core, subtasks in zip(job._unique_cores(), drained):
+                if subtasks:
+                    core.requeue(subtasks)
+            self._adopt_durable(durable)
+        else:
             self._held[server] = drained
+
+    def _adopt_durable(self, durable: List) -> None:
+        """Migrate durable chunks off a permanently dead server.
+
+        Their update already ran and at least one worker holds the
+        result, so each chunk's new home re-syncs the payload from a
+        surviving worker and re-issues the outstanding pulls.  A new
+        home that is itself down right now is skipped: its own restart
+        path re-issues these pulls (``reissue_pulls`` scans by the
+        post-remap mapping).
+        """
+        job = self.job
+        backend = job.backend
+        homes = backend.durable_homes(durable)
+        sources = backend.active_workers
+        for home in sorted(homes):
+            size = homes[home]
+            self._stats["resync_bytes"] += size
+            if not self.liveness.is_up(home):
+                continue
+            if size > 0 and sources and job.fabric is not None:
+                started = self.env.now
+                resync = Message(sources[0], home, size, kind="resync")
+                handle = job.fabric.transfer(resync)
+
+                def synced(_evt=None, home=home, started=started, size=size):
+                    self.trace.span(
+                        "recovery.resync", home, started, self.env.now, size=size
+                    )
+                    backend.reissue_pulls(home)
+
+                handle.delivered.callbacks.append(synced)
+            else:
+                backend.reissue_pulls(home)
 
     def _server_restarted(self, server: str, now: float) -> None:
         job = self.job
         backend = job.backend
         backend.mark_node_up(server)
+        if job.fabric is not None:
+            # New incarnation: the delivery guard (when enabled) fences
+            # off messages stamped before the crash.
+            job.fabric.bump_incarnation(server)
         size = backend.resync_bytes(server)
         self._stats["resync_bytes"] += size
         sources = backend.active_workers
@@ -328,6 +374,8 @@ class RecoveryManager:
         job = self.job
         backend = job.backend
         backend.mark_node_up(worker)
+        if job.fabric is not None:
+            job.fabric.bump_incarnation(worker)
         backend.mark_worker_active(worker)
         core = job.cores[worker]
         held = self._held.pop(worker, [[]])

@@ -51,6 +51,8 @@ class TrainingJob:
         fault_plan=None,
         metrics=None,
         recovery_spec=None,
+        oracle=None,
+        integrity: bool = False,
     ) -> None:
         self.model = model
         self.cluster = cluster
@@ -113,10 +115,20 @@ class TrainingJob:
         self._countdowns: List[ReadyCountdown] = []
         #: Outstanding per-iteration sampling gates (see _worker_done).
         self._pending_samples: List[Dict] = []
+        #: Optional :class:`repro.invariants.ChaosOracle`; verified at
+        #: the end of :meth:`drain`.
+        self.oracle = oracle
+        if integrity and self.fabric is not None:
+            # Explicit opt-in to the delivery protocol even without
+            # integrity fault clauses (idempotent with the injector's
+            # own enable when the plan has them).
+            self.fabric.enable_integrity()
         if fault_plan is not None:
             from repro.faults import apply_fault_plan
 
             apply_fault_plan(self, fault_plan)
+        if oracle is not None:
+            oracle.install(self)
         if metrics is not None:
             self._attach_metrics(metrics)
 
@@ -462,6 +474,8 @@ class TrainingJob:
                     f"{self._built_iterations} iterations — the op graph "
                     "deadlocked"
                 )
+        if self.oracle is not None:
+            self.oracle.verify(self)
 
     @property
     def markers(self) -> Dict[str, List[float]]:

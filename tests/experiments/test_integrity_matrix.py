@@ -1,0 +1,55 @@
+"""The nightly integrity matrix: corrupt x dup x reorder x crash.
+
+Slow lane (run nightly via `pytest -m slow`): every cell of the seeded
+matrix must converge to the fault-free parameter digest with balanced
+fault accounting and a silent chaos oracle.  The fast lane keeps one
+smoke test so the experiment entry point cannot rot between nightlies.
+"""
+
+import pytest
+
+from repro.experiments import faults
+
+
+def test_integrity_matrix_smoke():
+    result = faults.run_integrity(
+        model="alexnet",
+        machines=2,
+        measure=2,
+        scenarios=(("combined", faults.INTEGRITY_SCENARIOS[3][1]),),
+    )
+    assert result.clean()
+    text = faults.format_integrity(result)
+    assert "Transfer integrity matrix" in text and "combined" in text
+
+
+@pytest.mark.slow
+def test_integrity_matrix_full():
+    result = faults.run_integrity(machines=2, measure=3)
+    assert [cell.scenario for cell in result.cells] == [
+        name for name, _spec in faults.INTEGRITY_SCENARIOS
+    ]
+    for cell in result.cells:
+        assert cell.digest_matches, cell.scenario
+        assert cell.accounted, (cell.scenario, cell.counters)
+        assert cell.violations == 0, cell.scenario
+    # Every fault kind actually fired somewhere in the matrix.
+    totals = {
+        key: sum(cell.counters[key] for cell in result.cells)
+        for key in ("corrupt_injected", "dup_injected", "reorder_injected")
+    }
+    assert all(count > 0 for count in totals.values()), totals
+    # Injected == detected + lost, account closed matrix-wide.
+    assert sum(
+        cell.counters["corrupt_detected"] + cell.counters["corrupt_lost"]
+        for cell in result.cells
+    ) == totals["corrupt_injected"]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_integrity_matrix_other_seeds(seed):
+    result = faults.run_integrity(
+        model="alexnet", machines=2, measure=2, seed=seed
+    )
+    assert result.clean()

@@ -1,0 +1,209 @@
+"""Unit tests for the chaos oracle and its invariant checks.
+
+Each invariant is exercised against a minimal fake job, so the tests
+pin what each check *detects* without simulating a whole run; one
+end-to-end test wires the oracle into a real TrainingJob.
+"""
+
+import pytest
+
+from repro.errors import InvariantViolation, SchedulerError
+from repro.invariants import (
+    ChaosOracle,
+    CreditConservation,
+    GradientByteConservation,
+    MonotoneClock,
+    SingleCompletion,
+    default_invariants,
+)
+
+
+class FakeLayer:
+    def __init__(self, index, param_bytes):
+        self.index = index
+        self.param_bytes = param_bytes
+
+
+class FakeModel:
+    def __init__(self, sizes):
+        self.layers = [FakeLayer(i, s) for i, s in enumerate(sizes)]
+
+
+class FakeCore:
+    def __init__(self, fail=False):
+        self.name = "core0"
+        self.fail = fail
+
+    def check_credit_invariant(self):
+        if self.fail:
+            raise SchedulerError("credit ledger off by 42 bytes")
+
+
+class FakeEnv:
+    def __init__(self):
+        self.now = 0.0
+
+
+class FakeBackend:
+    def __init__(self):
+        self.layer_bytes_completed = {}
+        self.on_complete = None
+
+
+class FakeJob:
+    def __init__(self, sizes=(100.0,), iterations=1, core=None):
+        self.model = FakeModel(sizes)
+        self.backend = FakeBackend()
+        self.env = FakeEnv()
+        self._built_iterations = iterations
+        self._core = core or FakeCore()
+
+    def _unique_cores(self):
+        return [self._core]
+
+
+# -- individual invariants -------------------------------------------------
+
+
+def test_credit_conservation_wraps_scheduler_error():
+    invariant = CreditConservation()
+    job = FakeJob(core=FakeCore(fail=True))
+    with pytest.raises(InvariantViolation) as excinfo:
+        invariant.verify(job)
+    assert excinfo.value.invariant == "credit-conservation"
+    assert "42 bytes" in str(excinfo.value)
+
+    healthy = FakeJob()
+    invariant.verify(healthy)
+    assert invariant.summary() == {"checks": 1}
+
+
+def test_gradient_byte_conservation_flags_double_apply():
+    invariant = GradientByteConservation()
+    job = FakeJob(sizes=(100.0,))
+    invariant.install(job)
+    job.backend.layer_bytes_completed[(0, 0)] = 150.0  # > the 100 B layer
+    with pytest.raises(InvariantViolation, match="double-applied"):
+        invariant.on_complete(job, (0, 0, 0))
+
+
+def test_gradient_byte_conservation_flags_shortfall_at_end():
+    invariant = GradientByteConservation()
+    job = FakeJob(sizes=(100.0,))
+    invariant.install(job)
+    job.backend.layer_bytes_completed[(0, 0)] = 60.0
+    with pytest.raises(InvariantViolation, match="expected exactly"):
+        invariant.verify(job)
+
+
+def test_gradient_byte_conservation_flags_missing_layer():
+    invariant = GradientByteConservation()
+    job = FakeJob(sizes=(100.0, 200.0))
+    invariant.install(job)
+    job.backend.layer_bytes_completed[(0, 0)] = 100.0  # layer 1 never ran
+    with pytest.raises(InvariantViolation, match="never"):
+        invariant.verify(job)
+
+
+def test_gradient_byte_conservation_passes_exact_ledger():
+    invariant = GradientByteConservation()
+    job = FakeJob(sizes=(100.0, 200.0))
+    invariant.install(job)
+    job.backend.layer_bytes_completed = {(0, 0): 100.0, (0, 1): 200.0}
+    invariant.on_complete(job, (0, 0, 0))
+    invariant.verify(job)
+
+
+def test_single_completion_rejects_replay():
+    invariant = SingleCompletion()
+    job = FakeJob()
+    invariant.on_complete(job, (0, 3, 1))
+    with pytest.raises(InvariantViolation, match="twice"):
+        invariant.on_complete(job, (0, 3, 1))
+    assert invariant.summary() == {"completions": 1}
+
+
+def test_monotone_clock_rejects_time_travel():
+    invariant = MonotoneClock()
+    job = FakeJob()
+    job.env.now = 2.0
+    invariant.on_complete(job, (0, 0, 0))
+    job.env.now = 1.0
+    with pytest.raises(InvariantViolation, match="backwards"):
+        invariant.on_complete(job, (0, 0, 1))
+
+
+# -- the oracle ------------------------------------------------------------
+
+
+def test_oracle_chains_backend_hook_and_counts_violations():
+    calls = []
+    job = FakeJob()
+    job.backend.on_complete = calls.append  # pre-existing hook survives
+    oracle = ChaosOracle([SingleCompletion()])
+    oracle.install(job)
+    job.backend.on_complete((0, 0, 0))
+    assert calls == [(0, 0, 0)]
+    with pytest.raises(InvariantViolation):
+        job.backend.on_complete((0, 0, 0))
+    assert oracle.violations == 1
+
+
+def test_oracle_installs_once():
+    oracle = ChaosOracle([SingleCompletion()])
+    oracle.install(FakeJob())
+    with pytest.raises(InvariantViolation):
+        oracle.install(FakeJob())
+
+
+def test_oracle_verify_requires_install():
+    with pytest.raises(InvariantViolation):
+        ChaosOracle().verify()
+
+
+def test_default_invariants_are_fresh_instances():
+    first, second = default_invariants(), default_invariants()
+    assert {inv.name for inv in first} == {
+        "credit-conservation",
+        "gradient-byte-conservation",
+        "single-completion",
+        "monotone-clock",
+    }
+    assert all(a is not b for a, b in zip(first, second))
+
+
+def test_oracle_summary_keyed_by_invariant_name():
+    oracle = ChaosOracle()
+    summary = oracle.summary()
+    assert set(summary) == {inv.name for inv in oracle.invariants}
+
+
+# -- end to end ------------------------------------------------------------
+
+
+def test_oracle_silent_on_clean_faulted_run():
+    from repro.experiments.common import setup_cluster
+    from repro.faults import FaultPlan
+    from repro.training import SchedulerSpec
+    from repro.training.job import TrainingJob
+    from repro.training.runner import resolve_model
+
+    oracle = ChaosOracle()
+    job = TrainingJob(
+        resolve_model("alexnet"),
+        setup_cluster("mxnet", "ps", "rdma", 2),
+        SchedulerSpec(
+            kind="bytescheduler", partition_bytes=4e6, credit_bytes=16e6
+        ),
+        fault_plan=FaultPlan.parse(
+            "seed:5;corrupt:s0.down@0-0.5%0.05;dup:w1.up@0-0.5%0.05"
+        ),
+        oracle=oracle,
+    )
+    job.run(measure=2)
+    assert oracle.violations == 0
+    stats = job.fabric.guard.stats
+    assert stats.accounted()
+    summary = oracle.summary()
+    assert summary["credit-conservation"]["checks"] > 0
+    assert summary["single-completion"]["completions"] > 0

@@ -124,6 +124,26 @@ def test_summarize_trace():
     assert summarize_trace([]) == "empty trace (no events)"
 
 
+def test_summarize_trace_counts_instant_events_per_category():
+    """The delivery-protocol story (retransmits, stale drops, dedup
+    absorptions) rides on instant events; the summary must tally them
+    per category so `repro trace` surfaces the counters."""
+    env = Environment()
+    trace = Trace(env)
+    trace.span("link", "n0.up", 0.0, 1.0)
+    trace.point("integrity.retransmit", "push")
+    trace.point("integrity.retransmit", "pull")
+    trace.point("integrity.stale", "push")
+    trace.point("drop", "push")
+    doc = chrome_trace(trace)
+    text = summarize_trace(doc["traceEvents"])
+    assert "4 instant events" in text
+    lines = {line.split()[0]: line.split()[-1] for line in text.splitlines() if line.startswith(("integrity.", "drop"))}
+    assert lines["integrity.retransmit"] == "2"
+    assert lines["integrity.stale"] == "1"
+    assert lines["drop"] == "1"
+
+
 def test_job_chrome_trace_includes_compute_tracks():
     cluster = ClusterSpec(machines=2, gpus_per_machine=1)
     job = TrainingJob(

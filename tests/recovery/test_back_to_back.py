@@ -1,0 +1,85 @@
+"""Regression: overlapping crash-restart sequences must keep the
+credit ledger balanced and converge to the fault-free digest.
+
+Two root causes used to deadlock these plans:
+
+* in-flight pushes to a dying server whose server-side chunk state had
+  not formed yet were invisible to the keyed drain (orphan flights);
+* a permanent server death forgot *durable* chunks (some worker had
+  already pulled), but finished workers never re-push, so the replayed
+  aggregation could never meet its barrier.
+
+The fast cases pin both fixes; the slow matrix sweeps orderings.
+"""
+
+import pytest
+
+from repro.experiments.common import setup_cluster
+from repro.faults import FaultPlan
+from repro.invariants import ChaosOracle
+from repro.recovery import RecoverySpec
+from repro.training import SchedulerSpec
+from repro.training.job import TrainingJob
+from repro.training.runner import resolve_model
+
+SPEC = SchedulerSpec(
+    kind="bytescheduler", partition_bytes=4e6, credit_bytes=16e6
+)
+
+
+def run_plan(plan_spec, model="resnet50", measure=4):
+    cluster = setup_cluster("mxnet", "ps", "rdma", 2)
+    oracle = ChaosOracle() if plan_spec else None
+    job = TrainingJob(
+        resolve_model(model),
+        cluster,
+        SPEC,
+        fault_plan=FaultPlan.parse(plan_spec) if plan_spec else None,
+        recovery_spec=RecoverySpec() if plan_spec else None,
+        oracle=oracle,
+    )
+    job.run(measure=measure)
+    return job, oracle
+
+
+@pytest.fixture(scope="module")
+def baseline_digest():
+    job, _ = run_plan("")
+    return job.backend.sync_digest()
+
+
+def test_restart_during_drain_of_previous_crash(baseline_digest):
+    """The second server crashes while the first's drain is still in
+    flight; credits must be refunded exactly once."""
+    job, oracle = run_plan("crash:s0@0.2+0.2;crash:s1@0.22+0.2")
+    assert job.backend.sync_digest() == baseline_digest
+    assert oracle.violations == 0
+    for core in job._unique_cores():
+        core.check_credit_invariant()
+
+
+def test_permanent_crash_during_drain_migrates_durable_chunks(
+    baseline_digest,
+):
+    """The second crash is permanent: its durable chunks (already
+    pulled by some worker) must migrate to the remapped home instead of
+    being re-aggregated — finished workers never re-push."""
+    job, oracle = run_plan("crash:s0@0.2+0.2;crash:s1@0.22")
+    assert job.backend.sync_digest() == baseline_digest
+    assert oracle.violations == 0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "plan_spec",
+    [
+        "crash:s1@0.2+0.2;crash:s0@0.22",
+        "crash:s0@0.2+0.05;crash:s1@0.21+0.05",
+        "crash:s0@0.2;crash:w1@0.25+0.1",
+        "crash:s0@0.2+0.2;crash:w0@0.3+0.1",
+    ],
+)
+def test_back_to_back_crash_matrix(baseline_digest, plan_spec):
+    job, oracle = run_plan(plan_spec)
+    assert job.backend.sync_digest() == baseline_digest
+    assert oracle.violations == 0

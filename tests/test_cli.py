@@ -117,14 +117,42 @@ def test_run_faulted_compare_faults_both_schedulers(capsys):
 
 
 def test_run_rejects_malformed_fault_plan(capsys):
-    from repro.errors import ConfigError
+    code = main([
+        "run", "--model", "resnet50", "--machines", "2",
+        "--gpus-per-machine", "1", "--measure", "2",
+        "--fault-plan", "crash:s0@0.2;warp:w0@0-1x2",
+    ])
+    captured = capsys.readouterr()
+    assert code == 2
+    # The typed error names the offending clause and its position, and
+    # the CLI turns it into a clean message instead of a traceback.
+    assert "invalid --fault-plan" in captured.err
+    assert "clause 2" in captured.err and "warp" in captured.err
 
-    with pytest.raises(ConfigError):
-        main([
-            "run", "--model", "resnet50", "--machines", "2",
-            "--gpus-per-machine", "1", "--measure", "2",
-            "--fault-plan", "warp:w0@0-1x2",
-        ])
+
+def test_run_integrity_plan_prints_counters(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--model", "resnet50", "--machines", "2",
+        "--gpus-per-machine", "1", "--measure", "2",
+        "--fault-plan", "seed:7;corrupt:s0.down@0-0.5%0.05;"
+        "dup:w1.up@0-0.5%0.05;reorder:s1.down@0-0.5%0.05",
+    )
+    assert code == 0
+    assert "integrity:" in out
+    assert "accounting balanced" in out
+    assert "invariants:" in out and "0 violations" in out
+
+
+def test_run_integrity_flag_enables_protocol_without_faults(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--model", "resnet50", "--machines", "2",
+        "--gpus-per-machine", "1", "--measure", "2", "--integrity",
+    )
+    assert code == 0
+    assert "integrity: 0 corrupt" in out
+    assert "invariants:" in out and "0 violations" in out
 
 
 def test_run_fault_plan_is_deterministic(capsys):
