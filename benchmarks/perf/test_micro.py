@@ -25,6 +25,7 @@ kernel fast-path change:
 from __future__ import annotations
 
 from repro.perf import (
+    bench_dear,
     bench_end_to_end,
     bench_event_throughput,
     bench_scheduler_queue,
@@ -48,5 +49,11 @@ def test_scheduler_queue(benchmark):
 
 def test_end_to_end(benchmark):
     result = benchmark.pedantic(bench_end_to_end, rounds=2, iterations=1)
+    assert result["unit"] == "runs/s"
+    assert result["value"] > 0.4
+
+
+def test_dear(benchmark):
+    result = benchmark.pedantic(bench_dear, rounds=2, iterations=1)
     assert result["unit"] == "runs/s"
     assert result["value"] > 0.4

@@ -83,9 +83,12 @@ def _intersect(
 def _worker_comm_spans(job, worker: str) -> List[Tuple[float, float]]:
     spans: List[Tuple[float, float]] = []
     if job.backend.is_collective:
-        spans.extend(
-            (span.start, span.end) for span in job.trace.by_category("allreduce")
-        )
+        # Monolithic collectives trace as "allreduce"; DeAR's decoupled
+        # phases trace as "reduce_scatter" / "all_gather".
+        for category in ("allreduce", "reduce_scatter", "all_gather"):
+            spans.extend(
+                (span.start, span.end) for span in job.trace.by_category(category)
+            )
     else:
         for span in job.trace.by_category("link"):
             if span.name in (f"{worker}.up", f"{worker}.down"):

@@ -40,9 +40,12 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="simulate one training configuration")
     _add_cluster_args(run)
     run.add_argument("--scheduler", default="bytescheduler",
-                     choices=["fifo", "p3", "bytescheduler", "fusion"])
+                     choices=["fifo", "p3", "bytescheduler", "fusion", "dear"])
     run.add_argument("--partition-mb", type=float, default=None)
     run.add_argument("--credit-mb", type=float, default=None)
+    run.add_argument("--dear-fusion-mb", type=float, default=None,
+                     help="DeAR only: batch adjacent reduce-scatters up "
+                          "to this many MB (omit for pure knob-free DeAR)")
     run.add_argument("--measure", type=int, default=6)
     run.add_argument("--compare", action="store_true",
                      help="also run the FIFO baseline and report the speedup")
@@ -99,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
             "figure2", "figure4", "figure9", "figure10", "figure11",
             "figure12", "figure13", "figure14", "table1", "p3",
             "bounds", "ablations", "extensions", "coscheduling", "faults",
-            "recovery", "integrity", "all",
+            "recovery", "integrity", "dear", "all",
         ],
     )
     reproduce.add_argument("--fast", action="store_true",
@@ -196,8 +199,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         partition = args.partition_mb * MB if args.partition_mb else None
         credit = args.credit_mb * MB if args.credit_mb else None
+    dear_fusion_mb = getattr(args, "dear_fusion_mb", None)
     spec = SchedulerSpec(
-        kind=args.scheduler, partition_bytes=partition, credit_bytes=credit
+        kind=args.scheduler,
+        partition_bytes=partition,
+        credit_bytes=credit,
+        dear_fusion_bytes=(
+            dear_fusion_mb * MB if dear_fusion_mb is not None else None
+        ),
     )
 
     fault_plan = None
@@ -424,6 +433,14 @@ def _run_reproduce_target(args: argparse.Namespace, exp) -> int:
     elif target == "integrity":
         print(exp.faults.format_integrity(
             exp.faults.run_integrity(machines=2, measure=2 if fast else 3)
+        ))
+        print()
+        print(exp.faults.format_dear_integrity(
+            exp.faults.run_dear_integrity(machines=2, measure=2 if fast else 3)
+        ))
+    elif target == "dear":
+        print(exp.dear.format_result(
+            exp.dear.run(machines=2 if fast else 4, measure=2 if fast else 3)
         ))
     elif target == "extensions":
         machines = 2 if fast else 4

@@ -2,6 +2,7 @@
 
 from repro.comm.allreduce import RingAllReduceBackend
 from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend, RetryPolicy
+from repro.comm.phases import DecoupledAllReduceBackend
 from repro.comm.ps import PSBackend
 from repro.comm.sharding import (
     BigTensorSplit,
@@ -19,6 +20,7 @@ __all__ = [
     "RetryPolicy",
     "PSBackend",
     "RingAllReduceBackend",
+    "DecoupledAllReduceBackend",
     "ShardingStrategy",
     "BigTensorSplit",
     "LayerRoundRobin",

@@ -10,6 +10,17 @@ Collectives execute on a single FIFO pipe: NCCL serialises collectives
 on a stream, and every rank must run them in the same order — which is
 why the paper has only the *master* Core pick the order (§5).  The
 backend therefore refuses per-worker scheduling (``is_collective``).
+
+A ring all-reduce is algebraically two half-collectives — a
+reduce-scatter followed by an all-gather, each moving ``(R-1)/R`` of
+the tensor and paying half the synchronisation handshake.  This module
+exposes that decomposition (:meth:`RingAllReduceBackend.
+reduce_scatter_time` / :meth:`~RingAllReduceBackend.all_gather_time`,
+and the shared :meth:`~RingAllReduceBackend._execute_pipe_op` fault
+machinery) so :class:`repro.comm.phases.DecoupledAllReduceBackend` can
+schedule the two phases independently (DeAR, arXiv 2302.12445) while
+the monolithic :meth:`~RingAllReduceBackend.start_chunk` path stays
+bit-identical for every existing scheduler.
 """
 
 from __future__ import annotations
@@ -148,6 +159,33 @@ class RingAllReduceBackend(CommBackend):
             wire = 2 * (ranks - 1) / ranks * size / self.local_bandwidth
         return wire + self.sync_overhead()
 
+    def _phase_time(self, size: float) -> float:
+        """Wall time of one half-collective (reduce-scatter or
+        all-gather) of ``size`` bytes: ``(R-1)/R`` of the tensor over
+        the bottleneck link plus half the synchronisation handshake.
+        The two phases sum to :meth:`collective_time` (up to float
+        rounding), so decoupling them never changes the total cost of a
+        tensor — only *when* each half occupies the pipe."""
+        if size <= 0:
+            raise ConfigError(f"collective size must be > 0, got {size!r}")
+        ranks = self.ring_size
+        if ranks == 1:
+            return 0.5 * self.base_sync  # nothing to move
+        if self.live_machines > 1:
+            effective = self.bandwidth * self.transport.efficiency
+            wire = (ranks - 1) / ranks * size / effective
+        else:
+            wire = (ranks - 1) / ranks * size / self.local_bandwidth
+        return wire + 0.5 * self.sync_overhead()
+
+    def reduce_scatter_time(self, size: float) -> float:
+        """Wall time of the reduce-scatter phase alone."""
+        return self._phase_time(size)
+
+    def all_gather_time(self, size: float) -> float:
+        """Wall time of the all-gather phase alone."""
+        return self._phase_time(size)
+
     def set_fault_windows(
         self, windows: Sequence[Tuple[float, float, float]]
     ) -> None:
@@ -246,20 +284,26 @@ class RingAllReduceBackend(CommBackend):
             failures += 1
         return failures
 
-    def start_chunk(self, chunk: ChunkSpec) -> ChunkHandle:
-        if chunk.worker is not None:
-            raise ConfigError(
-                "all-reduce chunks are collective; start them without a worker"
-            )
-        if chunk.key in self.completed_keys:
-            # A replayed collective (recovered master re-driving work
-            # the ring already finished): every rank holds the reduced
-            # tensor, so only the synchronisation handshake runs —
-            # re-reducing would apply the sum twice.
-            done = self.env.timeout(self.base_sync, value=chunk)
-            return ChunkHandle(sent=done, done=done)
+    def _execute_pipe_op(
+        self,
+        chunk: ChunkSpec,
+        duration: float,
+        span_category: str,
+        fault_label: str,
+    ):
+        """Occupy the single FIFO pipe for one collective operation.
+
+        The shared execution path for a monolithic all-reduce and for
+        each decoupled phase: queue behind ``_busy_until``, apply the
+        seeded integrity draws (corrupt wastes the op's ring time and
+        retransmits; dup is absorbed; reorder inflates the sync), waste
+        the seeded loss attempts, stretch through the fault plan's
+        degradation windows, then advance the pipe cursor and return
+        the completion :class:`~repro.sim.Event`.  ``span_category``
+        names the trace span ("allreduce", "reduce_scatter",
+        "all_gather"); ``fault_label`` labels the fault spans/points.
+        """
         start = max(self.env.now, self._busy_until)
-        duration = self.collective_time(chunk.size)
         cursor = start
         if self._integrity_faults:
             corrupt, dup, reorder = self._integrity_outcomes(start)
@@ -274,15 +318,12 @@ class RingAllReduceBackend(CommBackend):
                 if self.trace is not None:
                     self.trace.span(
                         "integrity.corrupt",
-                        f"allreduce:iter{chunk.iteration}.layer{chunk.layer}",
+                        fault_label,
                         cursor,
                         failed_end,
                         size=chunk.size,
                     )
-                    self.trace.point(
-                        "integrity.retransmit",
-                        f"allreduce:iter{chunk.iteration}.layer{chunk.layer}",
-                    )
+                    self.trace.point("integrity.retransmit", fault_label)
                 cursor = failed_end
             if dup:
                 # A redundant copy the library absorbs: counted, no
@@ -290,10 +331,7 @@ class RingAllReduceBackend(CommBackend):
                 stats.dup_injected += 1
                 stats.dup_absorbed += 1
                 if self.trace is not None:
-                    self.trace.point(
-                        "integrity.dup",
-                        f"allreduce:iter{chunk.iteration}.layer{chunk.layer}",
-                    )
+                    self.trace.point("integrity.dup", fault_label)
             if reorder:
                 stats.reorder_injected += 1
                 duration += self.REORDER_SYNC_EXTRA
@@ -314,26 +352,22 @@ class RingAllReduceBackend(CommBackend):
             if self.trace is not None:
                 self.trace.span(
                     "timeout",
-                    f"allreduce:iter{chunk.iteration}.layer{chunk.layer}",
+                    fault_label,
                     cursor,
                     failed_end,
                     attempt=attempt,
                     size=chunk.size,
                 )
-                self.trace.point(
-                    "retry", f"allreduce:iter{chunk.iteration}.layer{chunk.layer}"
-                )
+                self.trace.point("retry", fault_label)
             cursor = failed_end
         end = self._finish_time(cursor, duration)
         self._busy_until = end
-        self.collectives_run += 1
-        self.bytes_reduced += chunk.size
         if self._obs is not None:
             # Queue wait plus execution: hand-off to completed reduce.
             self._obs["latency"].observe(end - self.env.now)
         if self.trace is not None:
             self.trace.span(
-                "allreduce",
+                span_category,
                 f"iter{chunk.iteration}.layer{chunk.layer}.{chunk.chunk_index}",
                 start,
                 end,
@@ -341,7 +375,28 @@ class RingAllReduceBackend(CommBackend):
             )
         # A collective is "sent" when it completes: the credit window
         # bounds how many operations sit in NCCL's execution queue.
-        completion = self.env.timeout(end - self.env.now, value=chunk)
+        return self.env.timeout(end - self.env.now, value=chunk)
+
+    def start_chunk(self, chunk: ChunkSpec) -> ChunkHandle:
+        if chunk.worker is not None:
+            raise ConfigError(
+                "all-reduce chunks are collective; start them without a worker"
+            )
+        if chunk.key in self.completed_keys:
+            # A replayed collective (recovered master re-driving work
+            # the ring already finished): every rank holds the reduced
+            # tensor, so only the synchronisation handshake runs —
+            # re-reducing would apply the sum twice.
+            done = self.env.timeout(self.base_sync, value=chunk)
+            return ChunkHandle(sent=done, done=done)
+        self.collectives_run += 1
+        self.bytes_reduced += chunk.size
+        completion = self._execute_pipe_op(
+            chunk,
+            self.collective_time(chunk.size),
+            "allreduce",
+            f"allreduce:iter{chunk.iteration}.layer{chunk.layer}",
+        )
         completion.callbacks.append(
             lambda _evt, c=chunk: self._record_complete(c)
         )

@@ -14,10 +14,12 @@ from repro.core.baselines import (
     DEFAULT_BASELINE_PARTITION,
     P3_PARTITION,
     bytescheduler,
+    dear_scheduler,
     fifo_scheduler,
     p3_scheduler,
 )
 from repro.core.commtask import CommTask, SubCommTask, TaskState
+from repro.core.dear import DeARCore
 from repro.core.fusion import FusionCore
 from repro.core.plugin import (
     Adapter,
@@ -34,6 +36,7 @@ from repro.core.scheduler import (
 
 __all__ = [
     "ByteSchedulerCore",
+    "DeARCore",
     "FusionCore",
     "CommTask",
     "SubCommTask",
@@ -48,6 +51,7 @@ __all__ = [
     "fifo_scheduler",
     "p3_scheduler",
     "bytescheduler",
+    "dear_scheduler",
     "DEFAULT_BASELINE_PARTITION",
     "P3_PARTITION",
 ]

@@ -13,6 +13,9 @@ dispatch), every comparison point in the paper is a configuration:
   why §6.2 finds it "cannot utilize the bandwidth fully".
 * :func:`bytescheduler` — the paper's scheduler with explicit
   (partition, credit) knobs, normally driven by the auto-tuner.
+* :func:`dear_scheduler` — DeAR (arXiv 2302.12445): decoupled
+  reduce-scatter / all-gather phases with cross-iteration overlap and
+  *no* partition-size knob (collective backends only).
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from typing import Optional
 
 from repro.sim import Environment
 from repro.comm.base import CommBackend
+from repro.core.dear import DeARCore
 from repro.core.scheduler import (
     PRIORITY_FIFO,
     PRIORITY_LAYER,
@@ -33,6 +37,7 @@ __all__ = [
     "fifo_scheduler",
     "p3_scheduler",
     "bytescheduler",
+    "dear_scheduler",
     "DEFAULT_BASELINE_PARTITION",
     "P3_PARTITION",
 ]
@@ -98,3 +103,17 @@ def bytescheduler(
         notify_delay=notify_delay,
         name=name,
     )
+
+
+def dear_scheduler(
+    env: Environment,
+    backend: CommBackend,
+    fusion_bytes: Optional[float] = None,
+    name: str = "dear",
+) -> DeARCore:
+    """DeAR: eager reduce-scatter, deferred all-gather, zero knobs.
+
+    Pass ``fusion_bytes`` for the fusion-aware variant that batches
+    adjacent reduce-scatters into one phase op.
+    """
+    return DeARCore(env, backend, fusion_bytes=fusion_bytes, name=name)

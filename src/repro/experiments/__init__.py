@@ -4,6 +4,7 @@ from repro.experiments import (
     ablations,
     bounds_check,
     coscheduling,
+    dear,
     extensions,
     extra,
     faults,
@@ -33,6 +34,7 @@ __all__ = [
     "extensions",
     "bounds_check",
     "coscheduling",
+    "dear",
     "ablations",
     "faults",
     "recovery",

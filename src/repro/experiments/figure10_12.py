@@ -3,7 +3,8 @@
 One figure per model (VGG16 / ResNet50 / Transformer); per figure, the
 five setups of §6.1 over 8-64 GPUs with three lines each — baseline
 (vanilla framework), ByteScheduler (tuned knobs), and linear scaling —
-plus P3 on the MXNet-PS-TCP subplot.
+plus P3 on the MXNet-PS-TCP subplot and DeAR (knob-free decoupled
+phases) on the all-reduce subplots.
 """
 
 from __future__ import annotations
@@ -39,6 +40,8 @@ class SetupGrid:
     bytescheduler: List[float] = field(default_factory=list)
     linear: List[float] = field(default_factory=list)
     p3: Optional[List[float]] = None
+    #: DeAR line — all-reduce subplots only (its phases are collective).
+    dear: Optional[List[float]] = None
 
     @property
     def label(self) -> str:
@@ -66,6 +69,7 @@ def run_model(
     setups: Sequence[Tuple[str, str, str]] = tuple(PAPER_SETUPS),
     measure: int = 4,
     include_p3: bool = True,
+    include_dear: bool = True,
     p3_measure: int = 2,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
@@ -107,6 +111,7 @@ def run_model(
     plan = []
     for framework, arch, transport in setups:
         wants_p3 = include_p3 and (framework, arch, transport) == P3_SETUP
+        wants_dear = include_dear and arch == "allreduce"
         points = []
         for machines in machines_list:
             cluster = setup_cluster(framework, arch, transport, machines)
@@ -137,18 +142,23 @@ def run_model(
                 "p3": add(cluster, SchedulerSpec(kind="p3"), p3_measure)
                 if wants_p3
                 else None,
+                "dear": add(cluster, SchedulerSpec(kind="dear"), measure)
+                if wants_dear
+                else None,
             }
             points.append(point)
-        plan.append(((framework, arch, transport), wants_p3, points))
+        plan.append(((framework, arch, transport), wants_p3, wants_dear, points))
 
     payloads = par.run_trials(specs, workers=workers, cache=cache)
     speeds = [par.result_from_payload(payload).speed for payload in payloads]
 
     grid = ModelGrid(model=model)
-    for (framework, arch, transport), wants_p3, points in plan:
+    for (framework, arch, transport), wants_p3, wants_dear, points in plan:
         subplot = SetupGrid(framework=framework, arch=arch, transport=transport)
         if wants_p3:
             subplot.p3 = []
+        if wants_dear:
+            subplot.dear = []
         for point in points:
             subplot.gpus.append(point["gpus"])
             subplot.baseline.append(speeds[point["baseline"]])
@@ -158,6 +168,8 @@ def run_model(
             subplot.linear.append(speeds[point["linear"]] * point["machines"])
             if wants_p3:
                 subplot.p3.append(speeds[point["p3"]])
+            if wants_dear:
+                subplot.dear.append(speeds[point["dear"]])
         grid.setups.append(subplot)
     return grid
 
@@ -185,9 +197,13 @@ def format_model_grid(grid: ModelGrid) -> str:
             ]
             if subplot.p3 is not None:
                 row.append(subplot.p3[index])
+            if subplot.dear is not None:
+                row.append(subplot.dear[index])
             rows.append(row)
         if subplot.p3 is not None:
             headers = headers + ["p3"]
+        if subplot.dear is not None:
+            headers = headers + ["dear"]
         title = (
             f"{grid.model} | {subplot.label} "
             f"(ByteScheduler speedup {low * 100:.0f}%-{high * 100:.0f}%)"

@@ -10,6 +10,7 @@ from repro.perf.harness import (
 )
 from repro.perf.micro import (
     MICROBENCHMARKS,
+    bench_dear,
     bench_end_to_end,
     bench_event_throughput,
     bench_scheduler_queue,
@@ -19,6 +20,7 @@ from repro.perf.micro import (
 __all__ = [
     "BENCH_SCHEMA",
     "MICROBENCHMARKS",
+    "bench_dear",
     "bench_end_to_end",
     "bench_event_throughput",
     "bench_scheduler_queue",

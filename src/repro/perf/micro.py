@@ -11,6 +11,9 @@ their time in:
   return against a loopback backend, no training job around it.
 * ``end_to_end`` — one complete ``run_experiment`` (the unit every
   figure point costs).
+* ``dear`` — one complete DeAR run on the all-reduce arch (the
+  phase-decoupled dispatch path: reduce-scatter heap + deferred
+  all-gather drain).
 
 Keep the workloads deterministic: the *work done per run* must not
 drift between commits or the regression gate compares different jobs.
@@ -28,6 +31,7 @@ __all__ = [
     "bench_event_throughput",
     "bench_scheduler_queue",
     "bench_end_to_end",
+    "bench_dear",
     "bench_sweep",
     "MICROBENCHMARKS",
 ]
@@ -161,6 +165,38 @@ def bench_end_to_end(
     }
 
 
+def bench_dear(
+    model: str = "resnet50", machines: int = 2, measure: int = 3
+) -> Dict[str, Any]:
+    """Wall-clock of one DeAR run: the two-phase dispatch hot path."""
+    from repro.training import ClusterSpec, SchedulerSpec, run_experiment
+
+    cluster = ClusterSpec(
+        machines=machines,
+        gpus_per_machine=8,
+        bandwidth_gbps=100.0,
+        transport="tcp",
+        arch="allreduce",
+        framework="pytorch",
+    )
+    spec = SchedulerSpec(kind="dear")
+    started = time.perf_counter()
+    result = run_experiment(model, cluster, spec, measure=measure)
+    elapsed = time.perf_counter() - started
+    return {
+        "name": "dear",
+        "unit": "runs/s",
+        "value": 1.0 / elapsed,
+        "wall_s": elapsed,
+        "params": {
+            "model": model,
+            "machines": machines,
+            "measure": measure,
+            "speed": result.speed,
+        },
+    }
+
+
 def bench_sweep(
     workers: Optional[int] = None, cache_dir: Optional[str] = None
 ) -> Dict[str, Any]:
@@ -199,4 +235,5 @@ MICROBENCHMARKS = {
     "event_throughput": bench_event_throughput,
     "scheduler_queue": bench_scheduler_queue,
     "end_to_end": bench_end_to_end,
+    "dear": bench_dear,
 }

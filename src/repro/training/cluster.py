@@ -15,9 +15,9 @@ from typing import Optional, Tuple
 
 from repro.comm import (
     CommBackend,
+    DecoupledAllReduceBackend,
     PSBackend,
     RetryPolicy,
-    RingAllReduceBackend,
     make_sharding,
 )
 from repro.errors import ConfigError
@@ -196,7 +196,10 @@ class ClusterSpec:
             cap, base_sync, per_rank = _ALLREDUCE_STACK[self.transport]
             efficiency = _stack_efficiency(self.transport, cap, self.bandwidth)
             transport = Transport(f"nccl-{self.transport}", 0.0, efficiency)
-            backend = RingAllReduceBackend(
+            # The phase-decoupled backend is a strict superset of the
+            # monolithic one (start_chunk is inherited untouched), so
+            # every scheduler gets it; only DeAR uses the extra ops.
+            backend = DecoupledAllReduceBackend(
                 env,
                 self.machines,
                 self.gpus_per_machine,
@@ -250,9 +253,10 @@ class ClusterSpec:
 class SchedulerSpec:
     """One scheduling policy with its knob values.
 
-    ``kind`` is 'fifo' (vanilla framework), 'p3' (Jayarajan et al.), or
-    'bytescheduler'.  Partition/credit default to each policy's
-    published defaults when omitted.
+    ``kind`` is 'fifo' (vanilla framework), 'p3' (Jayarajan et al.),
+    'bytescheduler', 'fusion' (Horovod-style tensor fusion), or 'dear'
+    (decoupled all-reduce phases, collective archs only).  Partition /
+    credit default to each policy's published defaults when omitted.
     """
 
     kind: str = "bytescheduler"
@@ -262,16 +266,22 @@ class SchedulerSpec:
     #: 'fusion' only: Horovod fusion-buffer size and cycle time.
     fusion_bytes: float = 64 * MB
     cycle_time: float = 0.005
+    #: 'dear' only: optional fusion-aware variant — batch adjacent
+    #: reduce-scatters up to this many bytes into one phase op.  None
+    #: (the default) is pure DeAR: one phase op per tensor, no knobs.
+    dear_fusion_bytes: Optional[float] = None
     #: §7 extension: per-layer partition sizes, as ((layer, bytes), ...)
     #: pairs overriding ``partition_bytes`` for those layers.
     partition_overrides: Optional[Tuple[Tuple[int, float], ...]] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in ("fifo", "p3", "bytescheduler", "fusion"):
+        if self.kind not in ("fifo", "p3", "bytescheduler", "fusion", "dear"):
             raise ConfigError(
-                "scheduler kind must be fifo/p3/bytescheduler/fusion, "
+                "scheduler kind must be fifo/p3/bytescheduler/fusion/dear, "
                 f"got {self.kind!r}"
             )
+        if self.dear_fusion_bytes is not None and self.dear_fusion_bytes <= 0:
+            raise ConfigError("dear_fusion_bytes must be > 0")
         if self.partition_bytes is not None and self.partition_bytes <= 0:
             raise ConfigError("partition_bytes must be > 0")
         if self.credit_bytes is not None and self.credit_bytes <= 0:
@@ -285,9 +295,12 @@ class SchedulerSpec:
 
     @property
     def scheduled(self) -> bool:
-        """True for the priority schedulers (ByteScheduler, P3);
-        'fifo' and 'fusion' are vanilla-framework behaviours."""
-        return self.kind in ("p3", "bytescheduler")
+        """True for schedulers that need per-layer forward gates
+        (ByteScheduler, P3, DeAR — DeAR's deferred all-gather must block
+        the *next* iteration's per-layer forward, which is exactly the
+        crossing-the-global-barrier machinery); 'fifo' and 'fusion' are
+        vanilla-framework behaviours."""
+        return self.kind in ("p3", "bytescheduler", "dear")
 
     def resolved_partition(
         self,

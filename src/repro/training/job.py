@@ -190,6 +190,18 @@ class TrainingJob:
             )
             return {worker: master for worker in self.workers}
 
+        if spec.kind == "dear":
+            if not self.backend.is_collective:
+                raise ConfigError("DeAR requires the all-reduce arch")
+            from repro.core.dear import DeARCore
+
+            master = DeARCore(
+                self.env,
+                self.backend,
+                fusion_bytes=spec.dear_fusion_bytes,
+            )
+            return {worker: master for worker in self.workers}
+
         def build(name: str) -> ByteSchedulerCore:
             return ByteSchedulerCore(
                 self.env,

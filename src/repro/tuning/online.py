@@ -65,6 +65,11 @@ class OnlineTuner:
             raise TuningError("segment_iterations must be >= 1")
         if not job.scheduler.scheduled:
             raise TuningError("online tuning needs a priority scheduler")
+        if job.scheduler.kind == "dear":
+            raise TuningError(
+                "DeAR has no partition/credit knobs to tune — that is "
+                "its selling point"
+            )
         self.job = job
         self.space = space or SearchSpace()
         self.searcher: Searcher = make_searcher(method, self.space, seed=seed)

@@ -62,6 +62,24 @@ def test_allreduce_jobs_are_analyzable():
     assert breakdowns[-1].comm_busy > 0
 
 
+def test_dear_jobs_are_analyzable():
+    """DeAR traces reduce_scatter/all_gather spans instead of allreduce;
+    the analyzer must still see its network time."""
+    model = custom_model(
+        [4 * MB, 16 * MB, 2 * MB], [0.002] * 3, [0.004] * 3, batch_size=16
+    )
+    cluster = ClusterSpec(
+        machines=2, gpus_per_machine=2, bandwidth_gbps=10,
+        arch="allreduce", framework="pytorch",
+    )
+    job = TrainingJob(model, cluster, SchedulerSpec(kind="dear"), enable_trace=True)
+    job.run(measure=4, warmup=1)
+    breakdowns = analyze_worker(job)
+    assert breakdowns[-1].comm_busy > 0
+    art = ascii_gantt(job)
+    assert "=" in art  # network row shows the phase spans
+
+
 def test_requires_trace():
     model = custom_model([4 * MB], [0.002], [0.004], batch_size=16)
     job = TrainingJob(

@@ -1,0 +1,60 @@
+"""Direct unit tests for the §7 co-scheduling experiment."""
+
+import pytest
+
+from repro.experiments import coscheduling
+from repro.experiments.coscheduling import CoSchedulingResult
+from repro.training import ClusterSpec
+
+
+def synthetic_result():
+    result = CoSchedulingResult(model_a="vgg16", model_b="transformer")
+    result.isolated[("fifo", "vgg16")] = 100.0
+    result.colocated[("fifo", "vgg16")] = 60.0
+    result.isolated[("fifo", "transformer")] = 50.0
+    result.colocated[("fifo", "transformer")] = 45.0
+    result.isolated[("bytescheduler", "vgg16")] = 120.0
+    result.colocated[("bytescheduler", "vgg16")] = 90.0
+    result.isolated[("bytescheduler", "transformer")] = 60.0
+    result.colocated[("bytescheduler", "transformer")] = 48.0
+    return result
+
+
+def test_slowdown_is_fraction_of_isolated_speed():
+    result = synthetic_result()
+    assert result.slowdown("fifo", "vgg16") == pytest.approx(0.4)
+    assert result.slowdown("fifo", "transformer") == pytest.approx(0.1)
+    assert result.slowdown("bytescheduler", "vgg16") == pytest.approx(0.25)
+    assert result.slowdown("bytescheduler", "transformer") == pytest.approx(0.2)
+
+
+def test_spec_selection():
+    cluster = ClusterSpec(machines=4, transport="rdma", arch="ps", framework="mxnet")
+    fifo = coscheduling._spec("fifo", "vgg16", cluster)
+    assert fifo.kind == "fifo"
+    tuned = coscheduling._spec("bytescheduler", "vgg16", cluster)
+    assert tuned.kind == "bytescheduler"
+    assert tuned.partition_bytes is not None and tuned.partition_bytes > 0
+    assert tuned.credit_bytes is not None and tuned.credit_bytes > 0
+
+
+def test_format_result_on_synthetic_data():
+    text = coscheduling.format_result(synthetic_result())
+    assert "co-scheduling" in text
+    assert "fifo" in text and "bytescheduler" in text
+    assert "vgg16" in text and "transformer" in text
+    assert "-40%" in text and "-25%" in text
+
+
+def test_small_run_shows_interference():
+    result = coscheduling.run(
+        model_a="alexnet", model_b="alexnet", machines=2, measure=2
+    )
+    for kind in ("fifo", "bytescheduler"):
+        isolated = result.isolated[(kind, "alexnet")]
+        colocated = result.colocated[(kind, "alexnet")]
+        assert isolated > 0 and colocated > 0
+        # Sharing one fabric can only hurt (or tie, at the resolution
+        # of the simulation): the co-located speed never beats isolated.
+        assert colocated <= isolated * 1.001
+        assert 0.0 <= result.slowdown(kind, "alexnet") < 1.0

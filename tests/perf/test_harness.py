@@ -98,7 +98,7 @@ def test_format_results_lists_each_benchmark():
 
 def test_microbenchmarks_registry_names():
     assert set(MICROBENCHMARKS) == {
-        "event_throughput", "scheduler_queue", "end_to_end"
+        "event_throughput", "scheduler_queue", "end_to_end", "dear"
     }
 
 

@@ -58,6 +58,23 @@ def test_online_tuner_rejects_fifo_jobs():
         OnlineTuner(job, space=SPACE)
 
 
+def test_online_tuner_rejects_dear_jobs():
+    """DeAR has no partition/credit knobs — tuning it is a caller bug."""
+    cluster = ClusterSpec(
+        machines=2, gpus_per_machine=2, arch="allreduce", transport="rdma",
+        framework="pytorch", bandwidth_gbps=25,
+    )
+    model = custom_model(
+        layer_bytes=[8 * MB, 24 * MB, 4 * MB],
+        fp_times=[0.002] * 3,
+        bp_times=[0.004] * 3,
+        batch_size=16,
+    )
+    job = TrainingJob(model, cluster, SchedulerSpec(kind="dear"))
+    with pytest.raises(TuningError, match="no partition/credit knobs"):
+        OnlineTuner(job, space=SPACE)
+
+
 def test_online_tuner_validation():
     job = make_job()
     with pytest.raises(TuningError):
