@@ -102,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
             "figure2", "figure4", "figure9", "figure10", "figure11",
             "figure12", "figure13", "figure14", "table1", "p3",
             "bounds", "ablations", "extensions", "coscheduling", "faults",
-            "recovery", "integrity", "dear", "all",
+            "recovery", "integrity", "dear", "cluster", "all",
         ],
     )
     reproduce.add_argument("--fast", action="store_true",
@@ -442,6 +442,10 @@ def _run_reproduce_target(args: argparse.Namespace, exp) -> int:
         print(exp.dear.format_result(
             exp.dear.run(machines=2 if fast else 4, measure=2 if fast else 3)
         ))
+    elif target == "cluster":
+        print(exp.cluster.format_result(exp.cluster.run(
+            jobs=80 if fast else 200, seeds=(0,) if fast else (0, 1, 2)
+        )))
     elif target == "extensions":
         machines = 2 if fast else 4
         print(exp.extensions.format_per_layer(exp.extensions.per_layer_partitions(machines=machines)))

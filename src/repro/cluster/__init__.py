@@ -1,0 +1,64 @@
+"""Cluster-scale multi-job scheduling over shared fabrics.
+
+Everything above a single training job lives here: synthetic
+Philly-style arrival traces (:mod:`repro.cluster.trace`),
+network-sensitive placement onto a racked topology
+(:mod:`repro.cluster.placement`), cross-job credit arbitration through
+time-sliced link leases (:mod:`repro.cluster.arbiter`), and the fluid
+trace simulator that reports JCT, makespan, and Jain fairness
+(:mod:`repro.cluster.simulator`).
+"""
+
+from repro.cluster.arbiter import (
+    ARBITRATED_EFFICIENCY,
+    UNCOORDINATED_EFFICIENCY,
+    UNCOORDINATED_SKEW,
+    LinkLeaseArbiter,
+    link_shares,
+    shares_by_key,
+)
+from repro.cluster.placement import (
+    PLACEMENT_POLICIES,
+    ClusterLayout,
+    colocated_slots,
+    place_consolidated,
+    place_random,
+    racks_spanned,
+)
+from repro.cluster.simulator import (
+    ARBITRATION_MODES,
+    ClusterResult,
+    ClusterSimulator,
+    JobOutcome,
+    jain_index,
+)
+from repro.cluster.trace import (
+    DEFAULT_MODEL_MIX,
+    DEFAULT_SIZE_MIX,
+    JobRequest,
+    synthesize_trace,
+)
+
+__all__ = [
+    "ARBITRATED_EFFICIENCY",
+    "ARBITRATION_MODES",
+    "DEFAULT_MODEL_MIX",
+    "DEFAULT_SIZE_MIX",
+    "UNCOORDINATED_EFFICIENCY",
+    "UNCOORDINATED_SKEW",
+    "ClusterLayout",
+    "ClusterResult",
+    "ClusterSimulator",
+    "JobOutcome",
+    "JobRequest",
+    "LinkLeaseArbiter",
+    "PLACEMENT_POLICIES",
+    "colocated_slots",
+    "jain_index",
+    "link_shares",
+    "place_consolidated",
+    "place_random",
+    "racks_spanned",
+    "shares_by_key",
+    "synthesize_trace",
+]

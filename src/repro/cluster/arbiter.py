@@ -1,0 +1,184 @@
+"""Cross-job credit coordination: time-sliced link leases.
+
+ByteScheduler's per-job Cores cannot see each other's tensors (§7), so
+co-located jobs hammer the shared FIFO links simultaneously and the
+heavier sender wins the queue.  The arbiter closes that gap the
+CrossoverScheduler way (arXiv 2103.07974): time is cut into short
+slices, each slice *leases* the shared links to one tenant, and the
+lease is enforced through the one knob every Core already exposes —
+its credit window.  The lease holder runs at its configured credit;
+everyone else is clamped to a small floor (one partition's worth keeps
+the pipe warm without contending), and :meth:`ByteSchedulerCore.
+reconfigure` guarantees the clamp preserves credit already lent to
+in-flight partitions, so the conservation invariant holds throughout.
+
+Leases rotate deficit-weighted round-robin: the tenant with the lowest
+granted-slices/weight ratio goes next, which converges to weighted fair
+bandwidth shares without any job-side cooperation.
+
+The same lease policy drives the cluster simulator's macro contention
+model (:func:`link_shares`), so the fleet-scale sweep and the
+packet-level micro runs describe one mechanism at two resolutions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.units import KB
+
+__all__ = [
+    "LinkLeaseArbiter",
+    "link_shares",
+    "UNCOORDINATED_SKEW",
+    "UNCOORDINATED_EFFICIENCY",
+    "ARBITRATED_EFFICIENCY",
+]
+
+#: Uncoordinated FIFO sharing rewards the heavier sender
+#: super-proportionally (whoever enqueues more bytes owns more of the
+#: queue); measured interference in ``experiments/coscheduling.py``
+#: motivates the skew exponent.
+UNCOORDINATED_SKEW = 1.5
+#: Fraction of link capacity surviving uncoordinated tenant mixing
+#: (head-of-line stalls behind other tenants' bursts).
+UNCOORDINATED_EFFICIENCY = 0.85
+#: Fraction surviving arbitrated time-slicing (lease-switch overhead
+#: only; no cross-tenant head-of-line).
+ARBITRATED_EFFICIENCY = 0.97
+
+
+class _Tenant:
+    __slots__ = ("job", "weight", "cores", "capacities", "granted")
+
+    def __init__(self, job, weight: float) -> None:
+        self.job = job
+        self.weight = weight
+        self.cores = job._unique_cores()
+        self.capacities = [core.credit_capacity for core in self.cores]
+        self.granted = 0
+
+
+class LinkLeaseArbiter:
+    """Rotate time-sliced link leases across co-located jobs' Cores."""
+
+    def __init__(
+        self, env, slice_s: float = 0.005, floor_bytes: float = 256 * KB
+    ) -> None:
+        if slice_s <= 0:
+            raise ConfigError(f"slice_s must be > 0, got {slice_s}")
+        if floor_bytes <= 0:
+            raise ConfigError(f"floor_bytes must be > 0, got {floor_bytes}")
+        self.env = env
+        self.slice_s = slice_s
+        self.floor_bytes = floor_bytes
+        self.tenants: List[_Tenant] = []
+        self.slices_granted = 0
+        self._started = False
+
+    def register(self, job, weight: float = 1.0) -> None:
+        """Add a co-located job (all its Cores) to the rotation."""
+        if weight <= 0:
+            raise ConfigError(f"weight must be > 0, got {weight}")
+        if self._started:
+            raise ConfigError("register tenants before start()")
+        if any(tenant.job is job for tenant in self.tenants):
+            raise ConfigError("job already registered")
+        self.tenants.append(_Tenant(job, weight))
+
+    def start(self) -> None:
+        """Grant the first lease and begin rotating.
+
+        Rotation stops by itself once every registered job has
+        completed all built iterations (and restores every Core's
+        configured credit), so a shared environment still drains.
+        """
+        if self._started:
+            raise ConfigError("arbiter already started")
+        if len(self.tenants) < 2:
+            raise ConfigError("need at least two tenants to arbitrate")
+        self._started = True
+        self._grant(self._next_tenant())
+        self.env.defer(self._tick, delay=self.slice_s)
+
+    def _next_tenant(self) -> _Tenant:
+        return min(
+            self.tenants, key=lambda t: (t.granted / t.weight, self.tenants.index(t))
+        )
+
+    def _job_done(self, job) -> bool:
+        live = [w for w in job.workers if w not in job._dead_workers]
+        return all(len(job.markers[w]) >= job._built_iterations for w in live)
+
+    def _grant(self, holder: _Tenant) -> None:
+        holder.granted += 1
+        self.slices_granted += 1
+        for tenant in self.tenants:
+            is_holder = tenant is holder
+            for core, capacity in zip(tenant.cores, tenant.capacities):
+                if is_holder:
+                    core.reconfigure(credit_bytes=capacity)
+                else:
+                    floor = self.floor_bytes
+                    if not math.isinf(capacity):
+                        floor = min(floor, capacity)
+                    core.reconfigure(credit_bytes=floor)
+
+    def _restore(self) -> None:
+        for tenant in self.tenants:
+            for core, capacity in zip(tenant.cores, tenant.capacities):
+                core.reconfigure(credit_bytes=capacity)
+
+    def _tick(self, _arg=None) -> None:
+        if all(self._job_done(tenant.job) for tenant in self.tenants):
+            self._restore()
+            return
+        self._grant(self._next_tenant())
+        self.env.defer(self._tick, delay=self.slice_s)
+
+
+def link_shares(
+    demands: Sequence[float],
+    capacity: float,
+    arbitrated: bool,
+    weights: Optional[Sequence[float]] = None,
+) -> List[float]:
+    """Per-tenant bandwidth on one shared link (the macro lease model).
+
+    ``demands`` are per-iteration byte loads; a single tenant always
+    gets the full capacity.  Uncoordinated FIFO mixing allocates
+    super-proportionally to the heavier sender (``demand**skew``) and
+    wastes ``1 - UNCOORDINATED_EFFICIENCY`` of the link; arbitrated
+    time-slicing allocates proportionally to ``demand × weight`` — the
+    deficit-weighted rotation's fixed point, which equalises relative
+    slowdown — at near-full efficiency.
+    """
+    if capacity <= 0:
+        raise ConfigError(f"capacity must be > 0, got {capacity}")
+    if any(demand <= 0 for demand in demands):
+        raise ConfigError("demands must be > 0")
+    if len(demands) == 1:
+        return [capacity]
+    if weights is None:
+        weights = [1.0] * len(demands)
+    if arbitrated:
+        raw = [d * w for d, w in zip(demands, weights)]
+        efficiency = ARBITRATED_EFFICIENCY
+    else:
+        raw = [d**UNCOORDINATED_SKEW for d in demands]
+        efficiency = UNCOORDINATED_EFFICIENCY
+    total = sum(raw)
+    return [capacity * efficiency * r / total for r in raw]
+
+
+def shares_by_key(
+    demands: Dict[object, float],
+    capacity: float,
+    arbitrated: bool,
+) -> Dict[object, float]:
+    """:func:`link_shares` over a keyed demand map."""
+    keys = list(demands)
+    allocated = link_shares([demands[k] for k in keys], capacity, arbitrated)
+    return dict(zip(keys, allocated))

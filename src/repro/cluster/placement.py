@@ -1,0 +1,157 @@
+"""Network-sensitive worker placement onto a racked cluster.
+
+Placement decides how much of a job's gradient traffic crosses the
+oversubscribed rack uplinks and how many tenants share each machine's
+NIC — the two contention sources the Dally study (arXiv 2401.16492)
+shows dominate cluster-scale training performance.  Two policies:
+
+* ``random`` — the strawman: sample any free machines, which scatters
+  multi-machine jobs across racks and co-locates tenants by accident;
+* ``consolidation`` — greedy, deterministic: span as few racks as
+  possible (filling from the rack with the most free machines) and
+  prefer *empty* machines within a rack, so a job neither crosses the
+  spine nor shares a NIC unless the cluster is genuinely full.
+
+Both operate on :class:`ClusterLayout`, a slot-granular occupancy map
+(``slots_per_machine`` tenants can share one machine, and with it one
+NIC — the §7 co-location scenario at scale).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+from repro.net.topology import TopologySpec
+
+__all__ = [
+    "ClusterLayout",
+    "PLACEMENT_POLICIES",
+    "place_random",
+    "place_consolidated",
+    "racks_spanned",
+    "colocated_slots",
+]
+
+
+@dataclass
+class ClusterLayout:
+    """Slot occupancy over a :class:`~repro.net.topology.TopologySpec`."""
+
+    topology: TopologySpec
+    slots_per_machine: int = 2
+    #: machine index -> tenants currently holding a slot there.
+    occupancy: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.slots_per_machine < 1:
+            raise ConfigError(
+                f"slots_per_machine must be >= 1, got {self.slots_per_machine}"
+            )
+
+    @property
+    def machines(self) -> int:
+        return self.topology.machines
+
+    def used(self, machine: int) -> int:
+        return self.occupancy.get(machine, 0)
+
+    def free_slots(self, machine: int) -> int:
+        return self.slots_per_machine - self.used(machine)
+
+    def free_machines(self) -> List[int]:
+        """Machines with at least one free slot, in index order."""
+        return [m for m in range(self.machines) if self.free_slots(m) > 0]
+
+    def rack_free(self, rack: int) -> int:
+        """Free slots across one rack."""
+        per = self.topology.machines_per_rack
+        return sum(
+            self.free_slots(m) for m in range(rack * per, (rack + 1) * per)
+        )
+
+    def occupy(self, machines: Sequence[int]) -> None:
+        """Claim one slot on each machine (a machine may repeat)."""
+        for machine in machines:
+            if self.free_slots(machine) < 1:
+                raise ConfigError(f"machine {machine} has no free slot")
+            self.occupancy[machine] = self.used(machine) + 1
+
+    def release(self, machines: Sequence[int]) -> None:
+        """Return the slots claimed by :meth:`occupy`."""
+        for machine in machines:
+            used = self.used(machine)
+            if used < 1:
+                raise ConfigError(f"machine {machine} has no slot to release")
+            if used == 1:
+                del self.occupancy[machine]
+            else:
+                self.occupancy[machine] = used - 1
+
+
+def place_random(
+    layout: ClusterLayout, machines_needed: int, rng: random.Random
+) -> Optional[List[int]]:
+    """Sample any ``machines_needed`` distinct free machines.
+
+    Returns None when the cluster cannot host the job right now (the
+    job waits in the admission queue).
+    """
+    free = layout.free_machines()
+    if len(free) < machines_needed:
+        return None
+    return sorted(rng.sample(free, machines_needed))
+
+
+def place_consolidated(
+    layout: ClusterLayout, machines_needed: int, rng: Optional[random.Random] = None
+) -> Optional[List[int]]:
+    """Greedy consolidation: fewest racks, emptiest machines first.
+
+    Racks are visited by descending *empty*-machine count (then free
+    machines, then index), so a job that fits one rack lands in the
+    rack where it shares the fewest NICs; within a rack, machines with
+    the most free slots come first, avoiding NIC sharing until the rack
+    is genuinely packed.  Fully deterministic — ``rng`` is accepted for
+    signature parity with :func:`place_random` and never drawn from.
+    """
+    free = layout.free_machines()
+    if len(free) < machines_needed:
+        return None
+    per = layout.topology.machines_per_rack
+
+    def rack_key(rack: int) -> Tuple[int, int, int]:
+        members = [m for m in free if m // per == rack]
+        empty = sum(1 for m in members if layout.used(m) == 0)
+        return (-empty, -len(members), rack)
+
+    rack_order = sorted(range(layout.topology.racks), key=rack_key)
+    chosen: List[int] = []
+    for rack in rack_order:
+        members = [m for m in free if m // per == rack]
+        members.sort(key=lambda m: (layout.used(m), m))
+        for machine in members:
+            chosen.append(machine)
+            if len(chosen) == machines_needed:
+                return sorted(chosen)
+    return None  # pragma: no cover — guarded by the len(free) check
+
+
+def racks_spanned(topology: TopologySpec, machines: Sequence[int]) -> int:
+    """How many racks a placement touches."""
+    return len({topology.rack_of_index(m) for m in machines})
+
+
+def colocated_slots(layout: ClusterLayout, machines: Sequence[int]) -> int:
+    """How many of the placement's machines already host another tenant
+    (i.e. how many NICs the job would share)."""
+    return sum(1 for m in machines if layout.used(m) > 0)
+
+
+#: policy name -> placer(layout, machines_needed, rng) -> machines | None.
+PLACEMENT_POLICIES = {
+    "random": place_random,
+    "consolidation": place_consolidated,
+}

@@ -1,0 +1,388 @@
+"""Trace-driven cluster scheduler: admission, placement, contention.
+
+The micro simulator (``repro.sim`` + ``repro.net``) prices every
+message of one job; replaying a Philly-scale trace of hundreds of jobs
+that way would cost hours per sweep point.  This module keeps the
+cluster-level questions — who waits, who shares which link, who
+finishes when — at the fidelity that matters for them, with a *fluid*
+model: between scheduling events every running job progresses at a
+constant iterations/second rate, and the rate is recomputed from link
+contention whenever the running set changes.
+
+The contention model is the macro view of the same mechanisms the
+micro layer implements:
+
+* a job's per-worker NIC load is one push + one pull of the model per
+  iteration; co-located tenants share the machine NIC;
+* workers split across racks push the cross-rack fraction of that load
+  through the oversubscribed rack uplinks
+  (:class:`~repro.net.topology.TopologySpec`);
+* shared links divide their capacity per
+  :func:`repro.cluster.arbiter.link_shares` — FIFO skew when jobs are
+  uncoordinated, deficit-weighted leases when arbitrated;
+* ByteScheduler overlaps communication with compute, so an iteration
+  costs ``max(compute, exposed_comm)``.
+
+Everything is deterministic: the trace is a pure function of its seed,
+``consolidation`` placement draws no randomness, ``random`` placement
+draws from one seeded stream in admission order, and the fluid
+arithmetic is a fixed fold over events.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.arbiter import link_shares
+from repro.cluster.placement import (
+    PLACEMENT_POLICIES,
+    ClusterLayout,
+    colocated_slots,
+    racks_spanned,
+)
+from repro.cluster.trace import JobRequest
+from repro.errors import ConfigError
+from repro.net.topology import TopologySpec
+from repro.units import gbps
+
+__all__ = ["JobOutcome", "ClusterResult", "ClusterSimulator", "jain_index"]
+
+ARBITRATION_MODES = ("uncoordinated", "arbitrated")
+
+#: Remaining-iteration tolerance for declaring a job finished.
+_EPS = 1e-7
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index over ``values`` (1.0 = perfectly equal)."""
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+@lru_cache(maxsize=None)
+def _job_profile(model: str) -> Tuple[float, float]:
+    """(compute seconds/iteration, comm bytes/worker/iteration)."""
+    from repro.models import get_model
+
+    spec = get_model(model)
+    # One gradient push plus one parameter pull per worker — the
+    # per-NIC volume regardless of PS/all-reduce details (§2).
+    return spec.compute_time, 2.0 * float(spec.total_bytes)
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's fate in a cluster run."""
+
+    request: JobRequest
+    machines: Tuple[int, ...]
+    racks: int
+    colocated: int
+    start: float
+    finish: float
+    isolated_duration: float
+
+    @property
+    def jct(self) -> float:
+        """Job completion time: arrival → finish (includes queueing)."""
+        return self.finish - self.request.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start - self.request.arrival
+
+    @property
+    def normalized_progress(self) -> float:
+        """Isolated-run duration over actual JCT (1.0 = no interference
+        or queueing; the per-job share fairness is Jain over these)."""
+        return self.isolated_duration / self.jct
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Cluster-level outcome of one (trace, placement, arbitration) run."""
+
+    placement: str
+    arbitration: str
+    trace_seed: int
+    jobs: Tuple[JobOutcome, ...]
+
+    @property
+    def mean_jct(self) -> float:
+        return statistics.fmean(job.jct for job in self.jobs)
+
+    @property
+    def median_jct(self) -> float:
+        return statistics.median(job.jct for job in self.jobs)
+
+    @property
+    def p95_jct(self) -> float:
+        ordered = sorted(job.jct for job in self.jobs)
+        index = max(0, int(0.95 * len(ordered) + 0.5) - 1)
+        return ordered[index]
+
+    @property
+    def makespan(self) -> float:
+        """First arrival → last completion."""
+        return max(job.finish for job in self.jobs) - min(
+            job.request.arrival for job in self.jobs
+        )
+
+    @property
+    def fairness(self) -> float:
+        """Jain index over per-job normalized progress."""
+        return jain_index([job.normalized_progress for job in self.jobs])
+
+    @property
+    def mean_queue_wait(self) -> float:
+        return statistics.fmean(job.queue_wait for job in self.jobs)
+
+    @property
+    def mean_racks_spanned(self) -> float:
+        multi = [job.racks for job in self.jobs if job.request.machines > 1]
+        return statistics.fmean(multi) if multi else 1.0
+
+    def summary(self) -> Dict[str, float]:
+        """The headline numbers, JSON-friendly."""
+        return {
+            "jobs": float(len(self.jobs)),
+            "mean_jct": self.mean_jct,
+            "median_jct": self.median_jct,
+            "p95_jct": self.p95_jct,
+            "makespan": self.makespan,
+            "fairness": self.fairness,
+            "mean_queue_wait": self.mean_queue_wait,
+            "mean_racks_spanned": self.mean_racks_spanned,
+        }
+
+
+class _Running:
+    __slots__ = (
+        "request",
+        "machines",
+        "rack_counts",
+        "remaining",
+        "rate",
+        "compute",
+        "volume",
+        "started",
+        "colocated",
+    )
+
+    def __init__(
+        self,
+        request: JobRequest,
+        machines: Sequence[int],
+        topology: TopologySpec,
+        started: float,
+        colocated: int,
+    ) -> None:
+        self.request = request
+        self.machines = tuple(machines)
+        self.rack_counts: Dict[int, int] = {}
+        for machine in machines:
+            rack = topology.rack_of_index(machine)
+            self.rack_counts[rack] = self.rack_counts.get(rack, 0) + 1
+        self.remaining = float(request.iterations)
+        self.rate = 0.0
+        self.compute, self.volume = _job_profile(request.model)
+        self.started = started
+        self.colocated = colocated
+
+
+class ClusterSimulator:
+    """Admit a trace, place workers, and run the fluid contention model."""
+
+    def __init__(
+        self,
+        topology: Optional[TopologySpec] = None,
+        slots_per_machine: int = 2,
+        nic_bandwidth_gbps: float = 100.0,
+        placement: str = "consolidation",
+        arbitration: str = "arbitrated",
+        placement_seed: int = 0,
+    ) -> None:
+        if placement not in PLACEMENT_POLICIES:
+            raise ConfigError(
+                f"unknown placement policy {placement!r}; "
+                f"use one of {sorted(PLACEMENT_POLICIES)}"
+            )
+        if arbitration not in ARBITRATION_MODES:
+            raise ConfigError(
+                f"unknown arbitration mode {arbitration!r}; "
+                f"use one of {ARBITRATION_MODES}"
+            )
+        if nic_bandwidth_gbps <= 0:
+            raise ConfigError("nic_bandwidth_gbps must be > 0")
+        self.topology = topology or TopologySpec(racks=4, machines_per_rack=8)
+        self.slots_per_machine = slots_per_machine
+        self.nic_bandwidth = gbps(nic_bandwidth_gbps)
+        self.uplink_bandwidth = self.topology.uplink_bandwidth(self.nic_bandwidth)
+        self.placement = placement
+        self.arbitration = arbitration
+        self.placement_seed = placement_seed
+
+    # -- rates --------------------------------------------------------------
+
+    def isolated_iteration_time(self, model: str, machines: int) -> float:
+        """Iteration time alone on the cluster, consolidated (the JCT
+        normalizer for fairness)."""
+        compute, volume = _job_profile(model)
+        if machines <= 1:
+            return compute
+        return max(compute, volume / self.nic_bandwidth)
+
+    def _recompute_rates(self, running: Dict[int, _Running]) -> None:
+        arbitrated = self.arbitration == "arbitrated"
+        nic_demands: Dict[int, Dict[int, float]] = {}
+        uplink_demands: Dict[int, Dict[int, float]] = {}
+        for job_id, run in running.items():
+            workers = len(run.machines)
+            if workers <= 1:
+                continue
+            for machine in run.machines:
+                nic_demands.setdefault(machine, {})[job_id] = run.volume
+            for rack, local in run.rack_counts.items():
+                outside = workers - local
+                if outside == 0:
+                    continue
+                # Each of the rack's `local` workers sends the
+                # cross-rack fraction of its volume through the uplink.
+                uplink_demands.setdefault(rack, {})[job_id] = (
+                    run.volume * local * outside / (workers - 1)
+                )
+
+        def allocate(
+            demands: Dict[int, Dict[int, float]], capacity: float
+        ) -> Dict[Tuple[int, int], float]:
+            shares: Dict[Tuple[int, int], float] = {}
+            for link, per_job in demands.items():
+                job_ids = sorted(per_job)
+                allocated = link_shares(
+                    [per_job[j] for j in job_ids], capacity, arbitrated
+                )
+                for job_id, share in zip(job_ids, allocated):
+                    shares[(link, job_id)] = share
+            return shares
+
+        nic_shares = allocate(nic_demands, self.nic_bandwidth)
+        uplink_shares = allocate(uplink_demands, self.uplink_bandwidth)
+
+        for job_id, run in running.items():
+            workers = len(run.machines)
+            if workers <= 1:
+                run.rate = 1.0 / run.compute
+                continue
+            comm = 0.0
+            for machine in run.machines:
+                comm = max(comm, run.volume / nic_shares[(machine, job_id)])
+            for rack in run.rack_counts:
+                demand = uplink_demands.get(rack, {}).get(job_id)
+                if demand is not None:
+                    comm = max(comm, demand / uplink_shares[(rack, job_id)])
+            run.rate = 1.0 / max(run.compute, comm)
+
+    # -- the event loop -----------------------------------------------------
+
+    def run(self, trace: Sequence[JobRequest]) -> ClusterResult:
+        """Simulate the whole trace; returns per-job and cluster stats."""
+        if not trace:
+            raise ConfigError("trace is empty")
+        layout = ClusterLayout(self.topology, self.slots_per_machine)
+        for request in trace:
+            if request.machines > self.topology.machines:
+                raise ConfigError(
+                    f"job {request.job_id} wants {request.machines} machines; "
+                    f"the cluster has {self.topology.machines}"
+                )
+        place = PLACEMENT_POLICIES[self.placement]
+        rng = random.Random(self.placement_seed)
+        arrivals = sorted(trace, key=lambda r: (r.arrival, r.job_id))
+        next_arrival = 0
+        queue: List[JobRequest] = []
+        running: Dict[int, _Running] = {}
+        outcomes: List[JobOutcome] = []
+        clock = 0.0
+
+        def admit() -> bool:
+            admitted = False
+            while queue:
+                head = queue[0]
+                machines = place(layout, head.machines, rng)
+                if machines is None:
+                    break  # FIFO admission: the head blocks the queue
+                colocated = colocated_slots(layout, machines)
+                layout.occupy(machines)
+                running[head.job_id] = _Running(
+                    head, machines, self.topology, clock, colocated
+                )
+                queue.pop(0)
+                admitted = True
+            return admitted
+
+        while next_arrival < len(arrivals) or queue or running:
+            if running:
+                self._recompute_rates(running)
+            completion_at = float("inf")
+            for run in running.values():
+                completion_at = min(completion_at, clock + run.remaining / run.rate)
+            arrival_at = (
+                arrivals[next_arrival].arrival
+                if next_arrival < len(arrivals)
+                else float("inf")
+            )
+            advance_to = min(completion_at, arrival_at)
+            if advance_to == float("inf"):
+                raise ConfigError(
+                    "admission deadlocked: queued jobs can never be placed"
+                )
+            for run in running.values():
+                run.remaining -= run.rate * (advance_to - clock)
+            clock = advance_to
+
+            finished = [
+                job_id
+                for job_id, run in running.items()
+                if run.remaining <= _EPS * run.request.iterations
+            ]
+            for job_id in finished:
+                run = running.pop(job_id)
+                layout.release(run.machines)
+                outcomes.append(
+                    JobOutcome(
+                        request=run.request,
+                        machines=run.machines,
+                        racks=racks_spanned(self.topology, run.machines),
+                        colocated=run.colocated,
+                        start=run.started,
+                        finish=clock,
+                        isolated_duration=run.request.iterations
+                        * self.isolated_iteration_time(
+                            run.request.model, run.request.machines
+                        ),
+                    )
+                )
+            while (
+                next_arrival < len(arrivals)
+                and arrivals[next_arrival].arrival <= clock
+            ):
+                queue.append(arrivals[next_arrival])
+                next_arrival += 1
+            admit()
+
+        outcomes.sort(key=lambda outcome: outcome.request.job_id)
+        return ClusterResult(
+            placement=self.placement,
+            arbitration=self.arbitration,
+            trace_seed=self.placement_seed,
+            jobs=tuple(outcomes),
+        )

@@ -3,6 +3,7 @@
 from repro.experiments import (
     ablations,
     bounds_check,
+    cluster,
     coscheduling,
     dear,
     extensions,
@@ -33,6 +34,7 @@ __all__ = [
     "extra",
     "extensions",
     "bounds_check",
+    "cluster",
     "coscheduling",
     "dear",
     "ablations",

@@ -1,0 +1,148 @@
+"""Cluster-scale sweep: placement policy × credit arbitration.
+
+The §7 co-scheduling experiment shows two co-located jobs stealing
+bandwidth from each other; this sweep asks the same question at fleet
+scale.  A Philly-style trace of job arrivals
+(:func:`repro.cluster.trace.synthesize_trace`) is replayed through the
+fluid cluster simulator under the four corners of
+
+* **placement** — ``random`` (scatter workers anywhere free) vs
+  ``consolidation`` (fewest racks, emptiest machines);
+* **arbitration** — ``uncoordinated`` (per-job Cores fight over shared
+  FIFO links) vs ``arbitrated`` (cluster-wide time-sliced link leases,
+  :mod:`repro.cluster.arbiter`);
+
+and reports the cluster-level outcomes: mean/median/p95 JCT, makespan,
+queue wait, and Jain fairness over per-job normalized progress.  The
+expected orderings — consolidation beats random on mean JCT (less
+traffic crosses the oversubscribed spine) and arbitration beats
+uncoordinated sharing on fairness (proportional leases equalise
+relative slowdown) — hold deterministically for every seed.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster import ARBITRATION_MODES, ClusterSimulator, synthesize_trace
+from repro.experiments.common import format_table
+from repro.net.topology import TopologySpec
+
+__all__ = ["ClusterSweep", "run", "format_result", "PLACEMENTS"]
+
+#: Placement policies swept, in display order.
+PLACEMENTS: Tuple[str, ...] = ("random", "consolidation")
+
+#: Arrival rate that keeps the default 32-machine cluster busy enough
+#: for contention (and the arbiter) to matter; see EXPERIMENTS.md.
+DEFAULT_MEAN_INTERARRIVAL = 10.0
+
+
+@dataclass
+class ClusterSweep:
+    """Per-seed cluster summaries for each (placement, arbitration)."""
+
+    jobs: int
+    seeds: Tuple[int, ...]
+    #: (placement, arbitration) -> one summary dict per seed, in
+    #: ``seeds`` order (see :meth:`repro.cluster.ClusterResult.summary`).
+    cells: Dict[Tuple[str, str], List[Dict[str, float]]] = field(
+        default_factory=dict
+    )
+
+    def mean(self, placement: str, arbitration: str, metric: str) -> float:
+        """A metric averaged across seeds for one sweep cell."""
+        return statistics.fmean(
+            summary[metric] for summary in self.cells[(placement, arbitration)]
+        )
+
+    def consolidation_jct_gain(self, arbitration: str) -> float:
+        """Fractional mean-JCT reduction of consolidation vs random."""
+        random_jct = self.mean("random", arbitration, "mean_jct")
+        return 1.0 - self.mean("consolidation", arbitration, "mean_jct") / random_jct
+
+    def arbitration_fairness_gain(self, placement: str) -> float:
+        """Jain-fairness improvement of arbitrated vs uncoordinated."""
+        return self.mean(placement, "arbitrated", "fairness") - self.mean(
+            placement, "uncoordinated", "fairness"
+        )
+
+
+def run(
+    jobs: int = 200,
+    seeds: Tuple[int, ...] = (0, 1, 2),
+    mean_interarrival: float = DEFAULT_MEAN_INTERARRIVAL,
+    topology: Optional[TopologySpec] = None,
+    slots_per_machine: int = 2,
+) -> ClusterSweep:
+    """Replay ``jobs``-job traces through all four sweep corners.
+
+    Each seed synthesises its own trace; placement randomness reuses
+    the trace seed, so the whole sweep is a pure function of its
+    arguments.
+    """
+    sweep = ClusterSweep(jobs=jobs, seeds=tuple(seeds))
+    for placement in PLACEMENTS:
+        for arbitration in ARBITRATION_MODES:
+            summaries: List[Dict[str, float]] = []
+            for seed in seeds:
+                trace = synthesize_trace(
+                    jobs=jobs, seed=seed, mean_interarrival=mean_interarrival
+                )
+                simulator = ClusterSimulator(
+                    topology=topology,
+                    slots_per_machine=slots_per_machine,
+                    placement=placement,
+                    arbitration=arbitration,
+                    placement_seed=seed,
+                )
+                summaries.append(simulator.run(trace).summary())
+            sweep.cells[(placement, arbitration)] = summaries
+    return sweep
+
+
+def format_result(sweep: ClusterSweep) -> str:
+    rows = []
+    for placement in PLACEMENTS:
+        for arbitration in ARBITRATION_MODES:
+            rows.append(
+                [
+                    placement,
+                    arbitration,
+                    f"{sweep.mean(placement, arbitration, 'mean_jct'):,.0f}",
+                    f"{sweep.mean(placement, arbitration, 'p95_jct'):,.0f}",
+                    f"{sweep.mean(placement, arbitration, 'makespan'):,.0f}",
+                    f"{sweep.mean(placement, arbitration, 'mean_queue_wait'):,.0f}",
+                    f"{sweep.mean(placement, arbitration, 'fairness'):.3f}",
+                    f"{sweep.mean(placement, arbitration, 'mean_racks_spanned'):.2f}",
+                ]
+            )
+    table = format_table(
+        [
+            "placement",
+            "arbitration",
+            "mean JCT (s)",
+            "p95 JCT (s)",
+            "makespan (s)",
+            "queue wait (s)",
+            "Jain fairness",
+            "racks/job",
+        ],
+        rows,
+        title=(
+            f"cluster sweep: {sweep.jobs} jobs x {len(sweep.seeds)} seeds "
+            "(placement x credit arbitration)"
+        ),
+    )
+    verdict = (
+        f"consolidation cuts mean JCT by "
+        f"{sweep.consolidation_jct_gain('uncoordinated') * 100:.0f}% "
+        f"(uncoordinated) / "
+        f"{sweep.consolidation_jct_gain('arbitrated') * 100:.0f}% (arbitrated); "
+        f"arbitration lifts Jain fairness by "
+        f"+{sweep.arbitration_fairness_gain('random'):.2f} (random) / "
+        f"+{sweep.arbitration_fairness_gain('consolidation'):.2f} (consolidation)"
+    )
+    return f"{table}\n{verdict}"

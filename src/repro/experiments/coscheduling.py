@@ -22,11 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from repro.errors import ConfigError
 from repro.experiments.common import format_table
 from repro.experiments.knobs import tuned_knobs
 from repro.models import get_model
 from repro.sim import Environment
 from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+from repro.training.metrics import TrainingResult
 
 __all__ = ["CoSchedulingResult", "run", "format_result"]
 
@@ -54,6 +56,26 @@ def _spec(kind: str, model: str, cluster: ClusterSpec) -> SchedulerSpec:
     )
 
 
+def _speed(job: TrainingJob, warmup: int, measure: int) -> float:
+    """Samples/second over the measurement window of a finished job.
+
+    Built on :class:`TrainingResult` so both of its measurement
+    conventions apply here: the reference timeline is the element-wise
+    *slowest* worker (reading any single worker's markers under-counts
+    contention stalls and over-reports co-located speed), and the
+    window start index is clamped for ``warmup=0`` (the old inline
+    ``times[warmup - 1]`` wrapped to the last marker and measured a
+    negative window).
+    """
+    return TrainingResult(
+        markers=dict(job.markers),
+        warmup=warmup,
+        measured=measure,
+        samples_per_iteration=job.samples_per_iteration,
+        sample_unit=job.model.sample_unit,
+    ).speed
+
+
 def run(
     model_a: str = "vgg16",
     model_b: str = "transformer",
@@ -61,19 +83,26 @@ def run(
     measure: int = 4,
     warmup: int = 1,
 ) -> CoSchedulingResult:
-    """Isolated and co-located runs for both scheduler kinds."""
+    """Isolated and co-located runs for both scheduler kinds.
+
+    ``warmup=0`` measures from iteration 0 (no steady-state trim).
+    """
+    if warmup < 0:
+        raise ConfigError(f"warmup must be >= 0, got {warmup}")
     cluster = ClusterSpec(
         machines=machines, transport="rdma", arch="ps", framework="mxnet"
     )
     result = CoSchedulingResult(model_a=model_a, model_b=model_b)
+    total = measure + warmup
 
     for kind in ("fifo", "bytescheduler"):
-        # Isolated references.
+        # Isolated references.  extend()/drain() rather than job.run()
+        # because the latter insists on warmup >= 1.
         for model in (model_a, model_b):
             job = TrainingJob(get_model(model), cluster, _spec(kind, model, cluster))
-            result.isolated[(kind, model)] = job.run(
-                measure=measure, warmup=warmup
-            ).speed
+            job.extend(total)
+            job.drain()
+            result.isolated[(kind, model)] = _speed(job, warmup, measure)
 
         # Co-located: one environment, one fabric, two tenants.
         env = Environment()
@@ -87,16 +116,11 @@ def run(
             env=env,
             shared_fabric=first.fabric,
         )
-        total = measure + warmup
         first.extend(total)
         second.extend(total)
         env.run()
         for job, model in ((first, model_a), (second, model_b)):
-            times = job.markers[job.workers[0]]
-            elapsed = times[total - 1] - times[warmup - 1]
-            result.colocated[(kind, model)] = (
-                job.samples_per_iteration * measure / elapsed
-            )
+            result.colocated[(kind, model)] = _speed(job, warmup, measure)
     return result
 
 

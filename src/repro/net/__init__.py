@@ -9,6 +9,7 @@ from repro.net.fabric import Fabric
 from repro.net.link import Link
 from repro.net.message import Message
 from repro.net.nic import DuplexNIC
+from repro.net.topology import HierarchicalFabric, TopologySpec
 from repro.net.transport import (
     DeliveryGuard,
     FaultyTransport,
@@ -22,6 +23,8 @@ from repro.net.transport import (
 
 __all__ = [
     "Fabric",
+    "HierarchicalFabric",
+    "TopologySpec",
     "Link",
     "Message",
     "DuplexNIC",

@@ -79,6 +79,11 @@ class Fabric:
         self.dup_pending: set = set()
         self.nics: Dict[str, DuplexNIC] = {}
         self._loopbacks: Dict[str, Link] = {}
+        #: Alias -> canonical node.  Multi-tenant placement maps each
+        #: job's private worker/server names onto shared machines, so
+        #: co-located jobs contend on one NIC without having to agree
+        #: on node names (the old PS-only ``shared_fabric`` restriction).
+        self._canonical: Dict[str, str] = {}
         self._nodes_cache: Optional[List[str]] = None
         self._local_transport = local_transport or LocalTransport()
         self._local_bandwidth = local_bandwidth
@@ -113,13 +118,36 @@ class Fabric:
         )
         return nic
 
+    def add_alias(self, alias: str, node: str) -> None:
+        """Map ``alias`` onto an existing node's NIC and loopback.
+
+        Transfers addressed to (or from) the alias ride the canonical
+        node's links, and two aliases of one machine count as *local* to
+        each other — this is how several jobs placed on the same machine
+        share its NIC.  Aliases never appear in :attr:`nodes`.
+        """
+        canonical = self.canonical(node)
+        if canonical not in self.nics:
+            raise KeyError(f"unknown node {node!r}")
+        if alias in self.nics or alias in self._canonical:
+            raise ValueError(f"node or alias {alias!r} already exists")
+        self._canonical[alias] = canonical
+
+    def canonical(self, node: str) -> str:
+        """The machine a name resolves to (identity for real nodes)."""
+        return self._canonical.get(node, node)
+
+    def has_node(self, node: str) -> bool:
+        """True when ``node`` is a known node or alias."""
+        return node in self.nics or node in self._canonical
+
     def nic(self, node: str) -> DuplexNIC:
         """The NIC of ``node``; raises ``KeyError`` for unknown nodes."""
-        return self.nics[node]
+        return self.nics[self.canonical(node)]
 
     def loopback(self, node: str) -> Link:
         """The intra-node loopback link of ``node``."""
-        return self._loopbacks[node]
+        return self._loopbacks[self.canonical(node)]
 
     def set_liveness(self, is_up) -> None:
         """Install a node-liveness oracle (``node -> bool``, True = up).
@@ -187,9 +215,9 @@ class Fabric:
         take one loopback hop.  The returned handle exposes both the
         sender-side completion and the delivery.
         """
-        if message.src not in self.nics:
+        if not self.has_node(message.src):
             raise KeyError(f"unknown source node {message.src!r}")
-        if message.dst not in self.nics:
+        if not self.has_node(message.dst):
             raise KeyError(f"unknown destination node {message.dst!r}")
         delivered = self.env.event()
         if self.guard is not None and message.checksum is None:
@@ -203,9 +231,13 @@ class Fabric:
         if not self._node_up(message.src):
             self._drop(message, "src")
             return self.env.event()
-        if message.src == message.dst:
+        src = self.canonical(message.src)
+        dst = self.canonical(message.dst)
+        if src == dst:
+            # Same machine (possibly two tenants' aliases of it): the
+            # transfer never touches the NIC, only the loopback.
             checksum_at_switch = message.checksum
-            hop = self._loopbacks[message.src].transmit(message)
+            hop = self._loopbacks[src].transmit(message)
             hop.callbacks.append(
                 lambda _evt: self._deliver(message, delivered)
             )
@@ -213,9 +245,19 @@ class Fabric:
                 message, delivered, local=True, checksum=checksum_at_switch
             )
             return hop
+        return self._launch_remote(message, delivered, src, dst)
 
-        uplink = self.nics[message.src].uplink
-        downlink = self.nics[message.dst].downlink
+    def _launch_remote(
+        self, message: Message, delivered: Event, src: str, dst: str
+    ) -> Event:
+        """Route one remote copy: src uplink, then dst downlink.
+
+        ``src``/``dst`` are canonical machine names.  Subclasses with a
+        multi-level topology (racks, spine) override this to insert the
+        extra hops.
+        """
+        uplink = self.nics[src].uplink
+        downlink = self.nics[dst].downlink
 
         def _after_uplink(_evt: Event) -> None:
             if not self._node_up(message.src) or not self._node_up(message.dst):
@@ -282,9 +324,9 @@ class Fabric:
             # corrupted copy is now on the wire.
             self.guard.stats.corrupt_injected += 1
         if local:
-            hop = self._loopbacks[message.src].transmit(copy)
+            hop = self._loopbacks[self.canonical(message.src)].transmit(copy)
         else:
-            hop = self.nics[message.dst].downlink.transmit_cut_through(
+            hop = self.nics[self.canonical(message.dst)].downlink.transmit_cut_through(
                 copy, available_at=self.env.now + self.hop_latency
             )
         hop.callbacks.append(lambda _evt: self._deliver(copy, delivered))

@@ -10,6 +10,7 @@ from repro.perf.harness import (
 )
 from repro.perf.micro import (
     MICROBENCHMARKS,
+    bench_cluster,
     bench_dear,
     bench_end_to_end,
     bench_event_throughput,
@@ -20,6 +21,7 @@ from repro.perf.micro import (
 __all__ = [
     "BENCH_SCHEMA",
     "MICROBENCHMARKS",
+    "bench_cluster",
     "bench_dear",
     "bench_end_to_end",
     "bench_event_throughput",

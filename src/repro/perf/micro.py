@@ -197,6 +197,31 @@ def bench_dear(
     }
 
 
+def bench_cluster(jobs: int = 120, seed: int = 0) -> Dict[str, Any]:
+    """Wall-clock of one fluid cluster-simulator run (trace synthesis +
+    admission + rate recomputation on every event)."""
+    from repro.cluster import ClusterSimulator, synthesize_trace
+
+    trace = synthesize_trace(jobs=jobs, seed=seed, mean_interarrival=10.0)
+    started = time.perf_counter()
+    result = ClusterSimulator(
+        placement="consolidation", arbitration="arbitrated", placement_seed=seed
+    ).run(trace)
+    elapsed = time.perf_counter() - started
+    return {
+        "name": "cluster",
+        "unit": "jobs/s",
+        "value": jobs / elapsed,
+        "wall_s": elapsed,
+        "params": {
+            "jobs": jobs,
+            "seed": seed,
+            "mean_jct": result.mean_jct,
+            "fairness": result.fairness,
+        },
+    }
+
+
 def bench_sweep(
     workers: Optional[int] = None, cache_dir: Optional[str] = None
 ) -> Dict[str, Any]:
@@ -236,4 +261,5 @@ MICROBENCHMARKS = {
     "scheduler_queue": bench_scheduler_queue,
     "end_to_end": bench_end_to_end,
     "dear": bench_dear,
+    "cluster": bench_cluster,
 }

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.comm import (
     CommBackend,
@@ -181,6 +181,8 @@ class ClusterSpec:
         trace: Optional[Trace] = None,
         default_sharding: str = "layer",
         shared_fabric: Optional[Fabric] = None,
+        placement: Optional[Sequence[str]] = None,
+        tenant: str = "",
     ) -> BuiltCluster:
         """Instantiate the fabric and communication backend.
 
@@ -188,10 +190,27 @@ class ClusterSpec:
         as None; the training job passes 'chunk' for scheduled runs and
         'layer' for vanilla ones (§6.2, PS load balancing).
 
-        ``shared_fabric`` reuses an existing fabric (same nodes, same
-        NICs) so multiple jobs contend for the same links — the §7
-        co-scheduling scenario.  Only valid for the PS architecture.
+        ``shared_fabric`` reuses an existing fabric so multiple jobs
+        contend for the same links — the §7 co-scheduling scenario.
+        Only valid for the PS architecture: the all-reduce backend
+        models its ring internally and would silently ignore the fabric
+        rather than share it.
+
+        ``placement`` maps this job's workers onto named machines of
+        the shared fabric (one machine per worker; PS servers co-locate
+        round-robin on the same machines, the usual PS deployment).
+        Worker and server names are prefixed with ``tenant`` and
+        aliased onto the machines' NICs, so jobs placed on one machine
+        natively share it — no node-name agreement required.
         """
+        if shared_fabric is not None and self.arch != "ps":
+            raise ConfigError(
+                "shared_fabric is only supported for the PS architecture: "
+                f"the {self.arch!r} backend models its collective "
+                "internally and cannot contend on a shared fabric"
+            )
+        if placement is not None and shared_fabric is None:
+            raise ConfigError("placement requires a shared_fabric to place onto")
         if self.arch == "allreduce":
             cap, base_sync, per_rank = _ALLREDUCE_STACK[self.transport]
             efficiency = _stack_efficiency(self.transport, cap, self.bandwidth)
@@ -216,10 +235,33 @@ class ClusterSpec:
         hop_overhead, cap, ack_delay = _PS_STACK[self.transport]
         efficiency = _stack_efficiency(self.transport, cap, self.bandwidth)
         transport = Transport(self.transport, hop_overhead, efficiency)
-        workers = tuple(f"w{index}" for index in range(self.machines))
-        servers = tuple(f"s{index}" for index in range(self.servers))
-        if shared_fabric is not None:
-            missing = [n for n in workers + servers if n not in shared_fabric.nics]
+        workers = tuple(f"{tenant}w{index}" for index in range(self.machines))
+        servers = tuple(f"{tenant}s{index}" for index in range(self.servers))
+        if placement is not None:
+            if len(placement) != self.machines:
+                raise ConfigError(
+                    f"placement names {len(placement)} machines for "
+                    f"{self.machines} workers"
+                )
+            try:
+                for name, machine in zip(workers, placement):
+                    shared_fabric.add_alias(name, machine)
+                for index, name in enumerate(servers):
+                    shared_fabric.add_alias(name, placement[index % len(placement)])
+            except KeyError as error:
+                raise ConfigError(
+                    f"placement names a machine the fabric lacks: {error}"
+                ) from error
+            except ValueError as error:
+                raise ConfigError(
+                    f"tenant {tenant!r} collides with an existing tenant "
+                    f"or node: {error}"
+                ) from error
+            fabric = shared_fabric
+        elif shared_fabric is not None:
+            missing = [
+                n for n in workers + servers if not shared_fabric.has_node(n)
+            ]
             if missing:
                 raise ConfigError(
                     f"shared fabric lacks nodes {missing}; build the larger "

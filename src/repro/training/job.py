@@ -48,6 +48,8 @@ class TrainingJob:
         enable_trace: bool = False,
         env: Optional[Environment] = None,
         shared_fabric=None,
+        placement=None,
+        tenant: str = "",
         fault_plan=None,
         metrics=None,
         recovery_spec=None,
@@ -78,6 +80,8 @@ class TrainingJob:
             trace=self.trace if enable_trace else None,
             default_sharding="chunk",
             shared_fabric=shared_fabric,
+            placement=placement,
+            tenant=tenant,
         )
         self.backend: CommBackend = built.backend
         self.fabric = built.fabric

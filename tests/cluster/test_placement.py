@@ -1,0 +1,124 @@
+"""Unit tests for the placement policies and the occupancy layout."""
+
+import random
+
+import pytest
+
+from repro.cluster import (
+    ClusterLayout,
+    colocated_slots,
+    place_consolidated,
+    place_random,
+    racks_spanned,
+)
+from repro.errors import ConfigError
+from repro.net import TopologySpec
+
+
+def make_layout(racks=2, per_rack=4, slots=2):
+    return ClusterLayout(
+        TopologySpec(racks=racks, machines_per_rack=per_rack),
+        slots_per_machine=slots,
+    )
+
+
+# -- layout ----------------------------------------------------------------
+
+
+def test_occupy_release_roundtrip():
+    layout = make_layout()
+    layout.occupy([0, 1])
+    assert layout.used(0) == 1 and layout.free_slots(0) == 1
+    layout.occupy([0])
+    assert layout.free_slots(0) == 0
+    assert 0 not in layout.free_machines()
+    layout.release([0, 0, 1])
+    assert layout.occupancy == {}
+
+
+def test_occupy_full_machine_raises():
+    layout = make_layout(slots=1)
+    layout.occupy([0])
+    with pytest.raises(ConfigError):
+        layout.occupy([0])
+    with pytest.raises(ConfigError):
+        layout.release([1])
+
+
+def test_rack_free_counts_slots():
+    layout = make_layout(racks=2, per_rack=2, slots=2)
+    assert layout.rack_free(0) == 4
+    layout.occupy([0, 1])
+    assert layout.rack_free(0) == 2
+    assert layout.rack_free(1) == 4
+
+
+# -- consolidation ---------------------------------------------------------
+
+
+def test_consolidation_prefers_single_rack_and_empty_machines():
+    layout = make_layout(racks=2, per_rack=4)
+    placement = place_consolidated(layout, 3)
+    assert placement is not None
+    assert racks_spanned(layout.topology, placement) == 1
+    assert colocated_slots(layout, placement) == 0
+
+
+def test_consolidation_fills_emptiest_rack_first():
+    layout = make_layout(racks=2, per_rack=4)
+    layout.occupy([0, 1, 2])  # rack 0 mostly busy
+    placement = place_consolidated(layout, 4)
+    assert placement == [4, 5, 6, 7]  # the whole of rack 1
+
+
+def test_consolidation_avoids_occupied_machines_within_rack():
+    layout = make_layout(racks=1, per_rack=4)
+    layout.occupy([0, 2])
+    assert place_consolidated(layout, 2) == [1, 3]
+
+
+def test_consolidation_is_deterministic_and_ignores_rng():
+    layout = make_layout(racks=3, per_rack=4)
+    layout.occupy([0, 5])
+    picks = {
+        tuple(place_consolidated(layout, 4, random.Random(seed)))
+        for seed in range(5)
+    }
+    assert len(picks) == 1
+
+
+def test_consolidation_spans_racks_only_when_forced():
+    layout = make_layout(racks=2, per_rack=4)
+    placement = place_consolidated(layout, 6)
+    assert placement is not None
+    assert racks_spanned(layout.topology, placement) == 2
+
+
+# -- random ----------------------------------------------------------------
+
+
+def test_random_is_deterministic_per_seed():
+    layout = make_layout(racks=4, per_rack=4)
+    one = place_random(layout, 6, random.Random(7))
+    two = place_random(layout, 6, random.Random(7))
+    assert one == two
+    assert len(set(one)) == 6
+
+
+def test_random_respects_occupancy():
+    layout = make_layout(racks=1, per_rack=4, slots=1)
+    layout.occupy([0, 1, 2])
+    assert place_random(layout, 1, random.Random(0)) == [3]
+    assert place_random(layout, 2, random.Random(0)) is None
+
+
+def test_both_policies_return_none_when_cluster_full():
+    layout = make_layout(racks=1, per_rack=2, slots=1)
+    layout.occupy([0, 1])
+    assert place_random(layout, 1, random.Random(0)) is None
+    assert place_consolidated(layout, 1) is None
+
+
+def test_slots_validation():
+    with pytest.raises(ConfigError):
+        make_layout(slots=0)

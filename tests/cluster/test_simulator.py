@@ -1,0 +1,123 @@
+"""Unit tests for the fluid cluster simulator."""
+
+import pytest
+
+from repro.cluster import ClusterSimulator, JobRequest, jain_index, synthesize_trace
+from repro.errors import ConfigError
+from repro.net import TopologySpec
+
+
+def small_trace(jobs=40, seed=0):
+    return synthesize_trace(jobs=jobs, seed=seed, mean_interarrival=10.0)
+
+
+# -- jain ------------------------------------------------------------------
+
+
+def test_jain_index_bounds():
+    assert jain_index([]) == 1.0
+    assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+    # n equal shares vs one hog: index tends to 1/n.
+    assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+    assert 0.0 < jain_index([1.0, 2.0, 4.0]) < 1.0
+
+
+# -- bookkeeping -----------------------------------------------------------
+
+
+def test_every_job_runs_exactly_once_and_metrics_are_sane():
+    trace = small_trace()
+    result = ClusterSimulator().run(trace)
+    assert len(result.jobs) == len(trace)
+    assert [job.request.job_id for job in result.jobs] == [
+        request.job_id for request in trace
+    ]
+    for outcome in result.jobs:
+        assert outcome.start >= outcome.request.arrival
+        assert outcome.finish > outcome.start
+        assert len(outcome.machines) == outcome.request.machines
+        assert len(set(outcome.machines)) == outcome.request.machines
+        # Contention and queueing only ever slow a job down.
+        assert outcome.jct >= outcome.isolated_duration * 0.999
+        assert 0.0 < outcome.normalized_progress <= 1.001
+    summary = result.summary()
+    assert summary["makespan"] >= summary["p95_jct"] >= summary["median_jct"]
+    assert 0.0 < summary["fairness"] <= 1.0
+
+
+def test_single_machine_jobs_run_at_compute_speed():
+    trace = (JobRequest(job_id=0, model="alexnet", machines=1,
+                        iterations=100, arrival=0.0),)
+    result = ClusterSimulator().run(trace)
+    outcome = result.jobs[0]
+    assert outcome.jct == pytest.approx(outcome.isolated_duration)
+    assert outcome.racks == 1
+
+
+def test_deterministic_across_reruns():
+    trace = small_trace(seed=5)
+    runs = [
+        ClusterSimulator(placement="random", arbitration="uncoordinated",
+                         placement_seed=5).run(trace)
+        for _ in range(2)
+    ]
+    assert runs[0].summary() == runs[1].summary()
+    assert [j.finish for j in runs[0].jobs] == [j.finish for j in runs[1].jobs]
+    assert [j.machines for j in runs[0].jobs] == [j.machines for j in runs[1].jobs]
+
+
+def test_acceptance_orderings_hold_across_seeds():
+    """Consolidation beats random on mean JCT; arbitration beats
+    uncoordinated sharing on Jain fairness — for every seed."""
+    for seed in (0, 1, 2):
+        trace = synthesize_trace(jobs=60, seed=seed, mean_interarrival=10.0)
+        cells = {}
+        for placement in ("random", "consolidation"):
+            for arbitration in ("uncoordinated", "arbitrated"):
+                cells[(placement, arbitration)] = ClusterSimulator(
+                    placement=placement,
+                    arbitration=arbitration,
+                    placement_seed=seed,
+                ).run(trace)
+        for arbitration in ("uncoordinated", "arbitrated"):
+            assert (
+                cells[("consolidation", arbitration)].mean_jct
+                < cells[("random", arbitration)].mean_jct
+            )
+        for placement in ("random", "consolidation"):
+            assert (
+                cells[(placement, "arbitrated")].fairness
+                > cells[(placement, "uncoordinated")].fairness
+            )
+
+
+def test_consolidation_spans_fewer_racks_than_random():
+    trace = small_trace()
+    random_run = ClusterSimulator(placement="random").run(trace)
+    consolidated = ClusterSimulator(placement="consolidation").run(trace)
+    assert (
+        consolidated.summary()["mean_racks_spanned"]
+        <= random_run.summary()["mean_racks_spanned"]
+    )
+
+
+# -- validation ------------------------------------------------------------
+
+
+def test_rejects_bad_configuration():
+    with pytest.raises(ConfigError):
+        ClusterSimulator(placement="nope")
+    with pytest.raises(ConfigError):
+        ClusterSimulator(arbitration="nope")
+    with pytest.raises(ConfigError):
+        ClusterSimulator(nic_bandwidth_gbps=0.0)
+    with pytest.raises(ConfigError):
+        ClusterSimulator().run(())
+
+
+def test_rejects_job_larger_than_cluster():
+    topology = TopologySpec(racks=1, machines_per_rack=2)
+    trace = (JobRequest(job_id=0, model="alexnet", machines=4,
+                        iterations=10, arrival=0.0),)
+    with pytest.raises(ConfigError):
+        ClusterSimulator(topology=topology).run(trace)

@@ -1,0 +1,49 @@
+"""Unit tests for the synthetic Philly-style trace generator."""
+
+import pytest
+
+from repro.cluster import DEFAULT_SIZE_MIX, JobRequest, synthesize_trace
+from repro.errors import ConfigError
+
+
+def test_trace_is_deterministic_per_seed():
+    assert synthesize_trace(jobs=50, seed=3) == synthesize_trace(jobs=50, seed=3)
+    assert synthesize_trace(jobs=50, seed=3) != synthesize_trace(jobs=50, seed=4)
+
+
+def test_trace_shapes():
+    trace = synthesize_trace(jobs=300, seed=0)
+    assert len(trace) == 300
+    assert [job.job_id for job in trace] == list(range(300))
+    arrivals = [job.arrival for job in trace]
+    assert arrivals == sorted(arrivals)
+    allowed_sizes = {machines for machines, _weight in DEFAULT_SIZE_MIX}
+    assert {job.machines for job in trace} <= allowed_sizes
+    assert all(50 <= job.iterations <= 5000 for job in trace)
+    # The Philly skew: single-machine jobs dominate.
+    singles = sum(1 for job in trace if job.machines == 1)
+    assert singles > len(trace) / 3
+
+
+def test_mean_interarrival_scales_arrivals():
+    slow = synthesize_trace(jobs=100, seed=0, mean_interarrival=20.0)
+    fast = synthesize_trace(jobs=100, seed=0, mean_interarrival=5.0)
+    assert fast[-1].arrival == pytest.approx(slow[-1].arrival / 4.0)
+
+
+def test_request_validation():
+    with pytest.raises(ConfigError):
+        JobRequest(job_id=0, model="vgg16", machines=0, iterations=10, arrival=0.0)
+    with pytest.raises(ConfigError):
+        JobRequest(job_id=0, model="vgg16", machines=1, iterations=0, arrival=0.0)
+    with pytest.raises(ConfigError):
+        JobRequest(job_id=0, model="vgg16", machines=1, iterations=10, arrival=-1.0)
+
+
+def test_generator_validation():
+    with pytest.raises(ConfigError):
+        synthesize_trace(jobs=0)
+    with pytest.raises(ConfigError):
+        synthesize_trace(jobs=1, mean_interarrival=0.0)
+    with pytest.raises(ConfigError):
+        synthesize_trace(jobs=1, min_iterations=10, max_iterations=5)

@@ -1,0 +1,40 @@
+"""Tests for the cluster-scale placement × arbitration sweep."""
+
+from repro.experiments import cluster
+
+
+def small_sweep():
+    return cluster.run(jobs=40, seeds=(0, 1))
+
+
+def test_sweep_covers_all_four_corners_per_seed():
+    sweep = small_sweep()
+    assert set(sweep.cells) == {
+        (placement, arbitration)
+        for placement in ("random", "consolidation")
+        for arbitration in ("uncoordinated", "arbitrated")
+    }
+    for summaries in sweep.cells.values():
+        assert len(summaries) == 2
+        for summary in summaries:
+            assert summary["jobs"] == 40
+
+
+def test_sweep_is_deterministic():
+    assert small_sweep().cells == small_sweep().cells
+
+
+def test_sweep_verdicts_match_acceptance_criteria():
+    sweep = small_sweep()
+    for arbitration in ("uncoordinated", "arbitrated"):
+        assert sweep.consolidation_jct_gain(arbitration) > 0
+    for placement in ("random", "consolidation"):
+        assert sweep.arbitration_fairness_gain(placement) > 0
+
+
+def test_format_result_reports_table_and_verdict():
+    text = cluster.format_result(small_sweep())
+    assert "cluster sweep" in text
+    assert "consolidation" in text and "arbitrated" in text
+    assert "Jain fairness" in text
+    assert "cuts mean JCT" in text and "lifts Jain fairness" in text

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import ConfigError
 from repro.experiments import coscheduling
 from repro.experiments.coscheduling import CoSchedulingResult
 from repro.training import ClusterSpec
@@ -44,6 +45,57 @@ def test_format_result_on_synthetic_data():
     assert "fifo" in text and "bytescheduler" in text
     assert "vgg16" in text and "transformer" in text
     assert "-40%" in text and "-25%" in text
+
+
+class FakeJob:
+    """Just enough of TrainingJob for _speed(): markers + batch size."""
+
+    class _Model:
+        sample_unit = "images"
+
+    def __init__(self, markers):
+        self.markers = markers
+        self.samples_per_iteration = 32.0
+        self.model = self._Model()
+
+
+def test_speed_with_zero_warmup_measures_forward_window():
+    """Regression: ``times[warmup - 1]`` wrapped to the *last* marker
+    when warmup=0, producing a negative window.  The clamped window
+    measures from iteration 0."""
+    job = FakeJob({"w0": [1.0, 2.0, 3.0]})
+    speed = coscheduling._speed(job, warmup=0, measure=3)
+    # Window [1.0, 2.0, 3.0]: two 1 s gaps -> 32 samples/s.
+    assert speed == pytest.approx(32.0)
+
+
+def test_speed_uses_slowest_worker_markers():
+    """Regression: reading workers[0] over-reported speed whenever
+    another worker lagged (the slowest-worker convention of
+    TrainingResult applies to co-located jobs too)."""
+    fast_only = FakeJob({"w0": [1.0, 2.0, 3.0]})
+    with_straggler = FakeJob(
+        {"w0": [1.0, 2.0, 3.0], "w1": [1.0, 3.0, 5.0]}
+    )
+    assert coscheduling._speed(with_straggler, 1, 2) == pytest.approx(
+        coscheduling._speed(fast_only, 1, 2) / 2
+    )
+
+
+def test_run_rejects_negative_warmup():
+    with pytest.raises(ConfigError):
+        coscheduling.run(warmup=-1)
+
+
+def test_warmup_zero_run_end_to_end():
+    result = coscheduling.run(
+        model_a="alexnet", model_b="alexnet", machines=2, measure=2, warmup=0
+    )
+    for kind in ("fifo", "bytescheduler"):
+        assert result.isolated[(kind, "alexnet")] > 0
+        assert result.colocated[(kind, "alexnet")] > 0
+        # A negative window would push the slowdown far outside [0, 1).
+        assert 0.0 <= result.slowdown(kind, "alexnet") < 1.0
 
 
 def test_small_run_shows_interference():

@@ -98,7 +98,7 @@ def test_format_results_lists_each_benchmark():
 
 def test_microbenchmarks_registry_names():
     assert set(MICROBENCHMARKS) == {
-        "event_throughput", "scheduler_queue", "end_to_end", "dear"
+        "event_throughput", "scheduler_queue", "end_to_end", "dear", "cluster"
     }
 
 
@@ -113,6 +113,16 @@ def test_scheduler_queue_bench_runs():
     result = bench_scheduler_queue(tasks=10, partitions=4)
     assert result["unit"] == "subtasks/s"
     assert result["value"] > 0
+
+
+def test_cluster_bench_runs():
+    from repro.perf import bench_cluster
+
+    result = bench_cluster(jobs=20)
+    assert result["unit"] == "jobs/s"
+    assert result["value"] > 0
+    assert result["params"]["jobs"] == 20
+    assert 0.0 < result["params"]["fairness"] <= 1.0
 
 
 def test_committed_baseline_is_loadable():

@@ -119,3 +119,81 @@ def test_with_knobs():
     spec = SchedulerSpec(kind="bytescheduler").with_knobs(1 * MB, 4 * MB)
     assert spec.partition_bytes == 1 * MB
     assert spec.credit_bytes == 4 * MB
+
+
+# -- shared fabrics and placement ------------------------------------------
+
+
+def _ps_fabric(env, machines=2):
+    built = ClusterSpec(machines=machines, arch="ps").build(
+        env, layer_bytes=(1000,)
+    )
+    return built.fabric
+
+
+def test_shared_fabric_rejected_for_allreduce():
+    """The documented PS-only constraint is now enforced, not implied:
+    the all-reduce backend would silently ignore the fabric."""
+    env = Environment()
+    fabric = _ps_fabric(env)
+    with pytest.raises(ConfigError, match="PS architecture"):
+        ClusterSpec(machines=2, arch="allreduce").build(
+            env, layer_bytes=(1000,), shared_fabric=fabric
+        )
+
+
+def test_placement_requires_shared_fabric():
+    env = Environment()
+    with pytest.raises(ConfigError, match="shared_fabric"):
+        ClusterSpec(machines=2, arch="ps").build(
+            env, layer_bytes=(1000,), placement=("w0", "w1")
+        )
+
+
+def test_placement_aliases_tenants_onto_machines():
+    from repro.net import HierarchicalFabric, TopologySpec, Transport
+
+    env = Environment()
+    topology = TopologySpec(racks=2, machines_per_rack=2)
+    fabric = HierarchicalFabric(env, topology, gbps(100), Transport("t", 0.0, 1.0))
+    built = ClusterSpec(machines=2, arch="ps").build(
+        env,
+        layer_bytes=(1000,),
+        shared_fabric=fabric,
+        placement=("r0m0", "r0m1"),
+        tenant="jobA.",
+    )
+    assert built.workers == ("jobA.w0", "jobA.w1")
+    assert fabric.canonical("jobA.w0") == "r0m0"
+    assert fabric.canonical("jobA.s1") == "r0m1"  # servers round-robin
+    # A second tenant lands on the same machines without name clashes.
+    second = ClusterSpec(machines=2, arch="ps").build(
+        env,
+        layer_bytes=(1000,),
+        shared_fabric=fabric,
+        placement=("r0m1", "r1m0"),
+        tenant="jobB.",
+    )
+    assert second.workers == ("jobB.w0", "jobB.w1")
+    assert fabric.canonical("jobB.w0") == "r0m1"
+
+
+def test_placement_validation_errors():
+    from repro.net import HierarchicalFabric, TopologySpec, Transport
+
+    env = Environment()
+    topology = TopologySpec(racks=1, machines_per_rack=2)
+    fabric = HierarchicalFabric(env, topology, gbps(100), Transport("t", 0.0, 1.0))
+    spec = ClusterSpec(machines=2, arch="ps")
+    with pytest.raises(ConfigError, match="placement names"):
+        spec.build(env, layer_bytes=(1000,), shared_fabric=fabric,
+                   placement=("r0m0",))
+    with pytest.raises(ConfigError):
+        spec.build(env, layer_bytes=(1000,), shared_fabric=fabric,
+                   placement=("r0m0", "no-such-machine"))
+    # Re-using a tenant prefix collides on alias names.
+    spec.build(env, layer_bytes=(1000,), shared_fabric=fabric,
+               placement=("r0m0", "r0m1"), tenant="dup.")
+    with pytest.raises(ConfigError):
+        spec.build(env, layer_bytes=(1000,), shared_fabric=fabric,
+                   placement=("r0m0", "r0m1"), tenant="dup.")
