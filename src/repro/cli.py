@@ -57,7 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
              "'straggler:w0@0.0-0.5x3;slowlink:w1.up@0.1-0.3x0.25;"
              "crash:s0@0.4+0.2;corrupt:s0.down@0-0.5%%0.02;"
              "dup:w1.up@0-0.5%%0.02;reorder:s1.down@0-0.5%%0.02;"
+             "leave:w1@0.3;join:w1@0.8;"
              "loss:0.02;seed:7'",
+    )
+    run.add_argument(
+        "--min-workers", type=int, default=None, metavar="N",
+        help="elastic membership floor: with join/leave clauses, the "
+             "job parks at an iteration boundary instead of training "
+             "below N workers (default 1)",
     )
     run.add_argument(
         "--integrity", action="store_true",
@@ -102,7 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
             "figure2", "figure4", "figure9", "figure10", "figure11",
             "figure12", "figure13", "figure14", "table1", "p3",
             "bounds", "ablations", "extensions", "coscheduling", "faults",
-            "recovery", "integrity", "dear", "cluster", "all",
+            "recovery", "integrity", "dear", "cluster", "elastic", "all",
         ],
     )
     reproduce.add_argument("--fast", action="store_true",
@@ -211,6 +218,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     fault_plan = None
     recovery_spec = None
+    membership_spec = None
     if args.fault_plan:
         from repro.errors import FaultPlanError
         from repro.faults import FaultPlan
@@ -226,6 +234,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             from repro.recovery import RecoverySpec
 
             recovery_spec = RecoverySpec(checkpoint_interval=checkpoint_ms / 1e3)
+        min_workers = getattr(args, "min_workers", None)
+        if min_workers is not None:
+            from repro.recovery import MembershipSpec
+
+            membership_spec = MembershipSpec(min_workers=min_workers)
 
     wants_trace = bool(args.timeline or args.trace_out or args.span_log)
     metrics = None
@@ -250,6 +263,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         metrics=metrics,
         recovery_spec=recovery_spec,
+        membership_spec=membership_spec,
         oracle=oracle,
         integrity=bool(getattr(args, "integrity", False)),
     )
@@ -290,6 +304,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{stats['replayed_subtasks']:.0f} partitions replayed, "
             f"{stats['lost_work_bytes'] / 1e6:.1f} MB lost, "
             f"{stats['resync_bytes'] / 1e6:.1f} MB re-synced"
+        )
+    if job.membership is not None:
+        stats = job.membership.stats()
+        print(
+            f"membership: epoch {stats['epoch']}, "
+            f"{stats['joins']:.0f} joins, {stats['leaves']:.0f} leaves, "
+            f"{stats['members_now']} members now "
+            f"(floor {stats['min_workers']}), "
+            f"quiesce {stats['quiesce_time_total'] * 1e3:.1f} ms, "
+            f"sync {stats['sync_bytes'] / 1e6:.1f} MB, "
+            f"parked {stats['parked_time'] * 1e3:.1f} ms"
         )
     if args.trace_out:
         from repro.obs import job_chrome_trace, write_chrome_trace
@@ -446,6 +471,8 @@ def _run_reproduce_target(args: argparse.Namespace, exp) -> int:
         print(exp.cluster.format_result(exp.cluster.run(
             jobs=80 if fast else 200, seeds=(0,) if fast else (0, 1, 2)
         )))
+    elif target == "elastic":
+        print(exp.elastic.format_result(exp.elastic.run(fast=fast)))
     elif target == "extensions":
         machines = 2 if fast else 4
         print(exp.extensions.format_per_layer(exp.extensions.per_layer_partitions(machines=machines)))

@@ -79,6 +79,9 @@ class RingAllReduceBackend(CommBackend):
         #: Machines that crashed permanently: the ring reforms over the
         #: survivors (fewer ranks — less wire traffic, less sync).
         self._dead_machines: Tuple[str, ...] = ()
+        #: Machines elastically outside the ring (left, or not joined
+        #: yet): excluded like dead ones, but they can re-register.
+        self._absent_machines: Set[str] = set()
         #: Fault-plan hooks (set by repro.faults.inject): degradation
         #: windows stall/slow the ring, loss fails whole collectives.
         self._fault_windows: Tuple[Tuple[float, float, float], ...] = ()
@@ -116,8 +119,12 @@ class RingAllReduceBackend(CommBackend):
 
     @property
     def live_machines(self) -> int:
-        """Machines still participating in the ring."""
-        return self.machines - len(self._dead_machines)
+        """Machines currently participating in the ring."""
+        return (
+            self.machines
+            - len(self._dead_machines)
+            - len(self._absent_machines)
+        )
 
     @property
     def ring_size(self) -> int:
@@ -132,10 +139,62 @@ class RingAllReduceBackend(CommBackend):
         if machine in self._dead_machines:
             return
         self._dead_machines = self._dead_machines + (machine,)
+        self._absent_machines.discard(machine)
         if self.live_machines < 1:
             raise ConfigError("every all-reduce machine is dead")
         if self.trace is not None:
             self.trace.point("ring_reform", f"{machine} removed")
+
+    def deregister_rank(self, machine: str) -> None:
+        """Elastically remove ``machine``: the ring reforms over the
+        remaining members from the next collective onward, exactly like
+        a permanent-crash shrink — but the machine may re-register."""
+        if machine not in self._workers:
+            raise ConfigError(f"unknown machine {machine!r}")
+        if machine in self._dead_machines:
+            raise ConfigError(f"machine {machine!r} died permanently")
+        if machine in self._absent_machines:
+            raise ConfigError(f"machine {machine!r} already left the ring")
+        self._absent_machines.add(machine)
+        if self.live_machines < 1:
+            raise ConfigError("every all-reduce machine left the ring")
+        if self.trace is not None:
+            self.trace.point("ring_reform", f"{machine} left")
+
+    def register_rank(self, machine: str, sync_bytes: float = 0.0):
+        """Live ring grow: re-admit ``machine`` and sync its state.
+
+        The joiner fetches the current parameters (``sync_bytes``) from
+        an existing member before it can participate; the transfer
+        occupies the collective pipe — all-reduce serialises on one
+        stream, and a bulk state broadcast is a collective too.  Returns
+        the sync's completion :class:`~repro.sim.Event` (the joiner's
+        first forward op gates on it).
+        """
+        if machine not in self._workers:
+            raise ConfigError(f"unknown machine {machine!r}")
+        if machine in self._dead_machines:
+            raise ConfigError(f"machine {machine!r} died permanently")
+        if machine not in self._absent_machines:
+            raise ConfigError(f"machine {machine!r} is already in the ring")
+        if sync_bytes < 0:
+            raise ConfigError(f"sync_bytes must be >= 0, got {sync_bytes!r}")
+        self._absent_machines.discard(machine)
+        work = 0.5 * self.base_sync
+        if sync_bytes > 0:
+            # One pass of the parameters over the bottleneck link (a
+            # point-to-point broadcast from one existing member).
+            effective = self.bandwidth * self.transport.efficiency
+            work += sync_bytes / effective
+        start = max(self.env.now, self._busy_until)
+        end = self._finish_time(start, work)
+        self._busy_until = end
+        if self.trace is not None:
+            self.trace.point("ring_reform", f"{machine} joined")
+            self.trace.span(
+                "membership.sync", machine, start, end, size=sync_bytes
+            )
+        return self.env.timeout(end - self.env.now, value=machine)
 
     def sync_overhead(self) -> float:
         """Per-collective synchronisation cost (the all-reduce θ)."""

@@ -47,12 +47,20 @@ class _ChunkState:
     ``pulled`` makes the chunk *durable* across a server crash: once
     any worker holds the updated parameters, recovery can re-sync them
     back to a restarted server instead of re-aggregating from scratch.
+
+    ``members`` is the worker roster the aggregation barrier is over:
+    the iteration's participant set when the job registered one (elastic
+    membership), otherwise the active set when the chunk's state forms
+    (plus any later starter) — so a worker joining the cluster
+    mid-flight is never waited on for chunks whose iteration predates
+    its join.
     """
 
     spec: ChunkSpec
     arrived: Set[str] = field(default_factory=set)
     pulled: Set[str] = field(default_factory=set)
     waiters: Dict[str, Event] = field(default_factory=dict)
+    members: Set[str] = field(default_factory=set)
     updated: bool = False
 
 
@@ -127,6 +135,11 @@ class PSBackend(CommBackend):
         if layer_bytes is not None:
             self.sharding.prepare(layer_bytes, len(self.servers))
         self._pending: Dict[Tuple[int, int, int], _ChunkState] = {}
+        #: Per-iteration participant rosters (elastic membership): the
+        #: job declares who takes part in each iteration at build time,
+        #: so chunk barriers never wait on a worker that joined after
+        #: the iteration was laid out.
+        self._iteration_rosters: Dict[int, Set[str]] = {}
         # One FIFO update pipe per server models its optimizer CPU.
         self._update_pipes = {
             server: Link(
@@ -192,9 +205,14 @@ class PSBackend(CommBackend):
 
         state = self._pending.get(chunk.key)
         if state is None:
-            state = self._pending[chunk.key] = _ChunkState(spec=chunk)
+            roster = self._iteration_rosters.get(chunk.key[0])
+            state = self._pending[chunk.key] = _ChunkState(
+                spec=chunk,
+                members=set(roster if roster is not None else self._active),
+            )
         if chunk.worker in state.waiters:
             raise ConfigError(f"chunk {chunk.key} started twice by {chunk.worker}")
+        state.members.add(chunk.worker)
         state.waiters[chunk.worker] = done
 
         push = Message(chunk.worker, server, chunk.size, kind="push", payload=chunk)
@@ -332,11 +350,16 @@ class PSBackend(CommBackend):
         )
 
     def _barrier_met(self, state: _ChunkState) -> bool:
-        """All *live* workers' pushes have arrived (dead ones excused)."""
+        """All the chunk's *live* members' pushes have arrived.
+
+        The barrier is over the chunk's membership snapshot intersected
+        with the currently active set: crashed/left workers are excused,
+        and a worker that joined after the chunk's state formed is not
+        waited on (it never trained that iteration)."""
         return all(
             worker in state.arrived
             for worker in self._workers
-            if worker in self._active
+            if worker in self._active and worker in state.members
         )
 
     def _on_push_delivered(self, chunk: ChunkSpec, server: str) -> None:
@@ -466,6 +489,22 @@ class PSBackend(CommBackend):
         if worker not in self._workers:
             raise ConfigError(f"unknown worker {worker!r}")
         self._active.add(worker)
+
+    def set_iteration_members(self, iteration: int, workers) -> None:
+        """Declare the participant roster for ``iteration``.
+
+        Called by the job at build time so chunk barriers wait on
+        exactly the workers that will push — not on a worker that
+        joined the cluster after this iteration was laid out.
+        """
+        roster = set(workers)
+        unknown = roster - set(self._workers)
+        if unknown:
+            raise ConfigError(
+                f"unknown workers in iteration {iteration} roster: "
+                f"{sorted(unknown)}"
+            )
+        self._iteration_rosters[iteration] = roster
 
     def mark_server_dead(self, server: str) -> None:
         """Permanently remove ``server``: its shard remaps to survivors."""

@@ -166,9 +166,12 @@ class VanillaAdapter(Adapter):
     def forward_gate(self, iteration, layer):
         if iteration == 0:
             return None
+        # A missing entry means this worker skipped iteration i-1
+        # (elastic rejoin): nothing of its own to wait for — the job
+        # gates its first forward on the membership state sync instead.
         if self.barrier_engine:
-            return self._barriers[iteration - 1]
-        return self._gates[(iteration - 1, layer)]
+            return self._barriers.get(iteration - 1)
+        return self._gates.get((iteration - 1, layer))
 
 
 class ByteSchedulerAdapter(Adapter):
@@ -216,15 +219,20 @@ class ByteSchedulerAdapter(Adapter):
         if iteration == 0:
             return None
         if not self.barrier_engine:
-            return self._gates[(iteration - 1, layer)]
+            # A missing gate means this worker skipped iteration i-1
+            # (elastic rejoin): its membership sync gates it instead.
+            return self._gates.get((iteration - 1, layer))
         # Figure 8: a per-layer forward proxy enforces the cross-
         # iteration dependency that the engine itself cannot track.
-        task = self._tasks[(iteration - 1, layer)]
+        task = self._tasks.get((iteration - 1, layer))
+        barrier = self._barriers.get(iteration - 1)
+        if task is None or barrier is None:
+            return None  # skipped iteration i-1 (elastic rejoin)
         return self.engine.post(
             EngineOp(
                 self._label(iteration, layer, "fp_proxy"),
                 OpKind.PROXY,
-                deps=[self._barriers[iteration - 1]],
+                deps=[barrier],
                 release=task.finished,
             )
         )

@@ -14,6 +14,7 @@ from repro.faults.plan import (
     FaultPlan,
     IntegrityFault,
     LinkFault,
+    ScaleEvent,
     StragglerFault,
     TransportFault,
     degraded_finish,
@@ -25,6 +26,7 @@ __all__ = [
     "FaultPlan",
     "IntegrityFault",
     "LinkFault",
+    "ScaleEvent",
     "StragglerFault",
     "TransportFault",
     "apply_fault_plan",

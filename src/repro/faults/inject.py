@@ -12,7 +12,12 @@ The injector is the only piece that knows where each fault kind lands:
 * crash faults stand up the recovery control plane — a
   :class:`~repro.recovery.RecoveryManager` (liveness oracle, heartbeat
   failure detector, drain/requeue + re-sync choreography) attached to
-  the job as ``job.recovery``.
+  the job as ``job.recovery``;
+* scale events (``join:`` / ``leave:`` clauses) stand up the elastic
+  membership control plane — a
+  :class:`~repro.recovery.MembershipManager` (epoch fencing, ring
+  reform / barrier resize, credit-conserving drain/requeue, min-worker
+  parking) attached to the job as ``job.membership``.
 
 Injection happens once, after the substrate is built and before any
 iteration is constructed, so a faulted run replays identically.
@@ -87,6 +92,13 @@ def apply_fault_plan(job: "TrainingJob", plan: FaultPlan) -> None:
         manager = RecoveryManager(job, plan, spec=job.recovery_spec)
         manager.install()
         job.recovery = manager
+
+    if plan.scale_events:
+        from repro.recovery import MembershipManager
+
+        membership = MembershipManager(job, plan, spec=job.membership_spec)
+        membership.install()
+        job.membership = membership
 
 
 def _apply_to_fabric(fabric: Fabric, plan: FaultPlan, rng: random.Random) -> None:

@@ -34,6 +34,7 @@ Clauses are semicolon-separated:
 * ``corrupt:<node>.<up|down|loop>@<start>-<end>%<rate>``
 * ``dup:<node>.<up|down|loop>@<start>-<end>%<rate>``
 * ``reorder:<node>.<up|down|loop>@<start>-<end>%<rate>``
+* ``join:<node>@<t>`` / ``leave:<node>@<t>`` (planned scale events)
 * ``seed:<int>``
 
 Malformed clauses raise :class:`~repro.errors.FaultPlanError` naming
@@ -54,6 +55,7 @@ __all__ = [
     "CrashFault",
     "IntegrityFault",
     "LinkFault",
+    "ScaleEvent",
     "StragglerFault",
     "TransportFault",
     "FaultPlan",
@@ -63,6 +65,7 @@ __all__ = [
 
 _DIRECTIONS = ("up", "down", "loop", "both")
 _INTEGRITY_KINDS = ("corrupt", "dup", "reorder")
+_SCALE_KINDS = ("join", "leave")
 
 
 @dataclass(frozen=True)
@@ -198,6 +201,35 @@ class IntegrityFault:
 
 
 @dataclass(frozen=True)
+class ScaleEvent:
+    """One planned elastic-membership change: ``node`` joins or leaves
+    the worker set at (the iteration boundary after) ``time``.
+
+    Unlike a crash, a scale event is *planned*: the membership manager
+    quiesces at an iteration boundary, bumps the membership epoch (so
+    the delivery guard fences stale in-flight frames), and reforms the
+    communication topology over the new member set.  A node whose first
+    event is a ``join`` starts the run absent and only begins training
+    when its join matures.
+    """
+
+    kind: str  # 'join' or 'leave'
+    node: str
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SCALE_KINDS:
+            raise ConfigError(
+                f"scale event kind must be one of {_SCALE_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.time < 0 or not math.isfinite(self.time):
+            raise ConfigError(
+                f"scale event time must be finite and >= 0, got {self.time!r}"
+            )
+
+
+@dataclass(frozen=True)
 class TransportFault:
     """Probabilistic per-message loss and delay at the transport layer.
 
@@ -239,6 +271,7 @@ class FaultPlan:
     transport: TransportFault = field(default_factory=TransportFault)
     crashes: Tuple[CrashFault, ...] = ()
     integrity: Tuple[IntegrityFault, ...] = ()
+    scale_events: Tuple[ScaleEvent, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -250,6 +283,43 @@ class FaultPlan:
                     "crash per node per plan"
                 )
             seen.add(crash.node)
+        # Canonical application order (time, then node) — keeps
+        # ``parse(plan.to_spec()) == plan`` regardless of construction
+        # order and makes the membership choreography deterministic.
+        object.__setattr__(self, "scale_events", self.scale_timeline)
+        self._validate_scale_events(seen)
+
+    def _validate_scale_events(self, crash_nodes) -> None:
+        """A node's scale events must form a coherent lifecycle.
+
+        Per node: event times are distinct, and kinds alternate in time
+        order (present nodes can only leave, absent nodes can only
+        join).  A node whose *first* event is a join starts the run
+        absent.  Crash clauses and scale events on the same node are
+        rejected — the two lifecycles would race for the node's state.
+        """
+        by_node: dict = {}
+        for event in self.scale_events:
+            if event.node in crash_nodes:
+                raise ConfigError(
+                    f"node {event.node!r} has both a crash and a scale "
+                    "event; use distinct nodes (a planned leave/join and "
+                    "a crash lifecycle cannot share one process)"
+                )
+            by_node.setdefault(event.node, []).append(event)
+        for node, events in by_node.items():
+            ordered = sorted(events, key=lambda e: e.time)
+            for a, b in zip(ordered, ordered[1:]):
+                if a.time == b.time:
+                    raise ConfigError(
+                        f"node {node!r} has two scale events at t={a.time:g}"
+                    )
+                if a.kind == b.kind:
+                    raise ConfigError(
+                        f"node {node!r} cannot {b.kind} twice in a row "
+                        f"(at t={a.time:g} and t={b.time:g}); join and "
+                        "leave must alternate"
+                    )
 
     @property
     def empty(self) -> bool:
@@ -259,8 +329,35 @@ class FaultPlan:
             and not self.stragglers
             and not self.crashes
             and not self.integrity
+            and not self.scale_events
             and not self.transport.active
         )
+
+    def scale_events_for(self, node: str) -> Tuple[ScaleEvent, ...]:
+        """``node``'s scale events in time order."""
+        return tuple(
+            sorted(
+                (event for event in self.scale_events if event.node == node),
+                key=lambda e: e.time,
+            )
+        )
+
+    @property
+    def scale_timeline(self) -> Tuple[ScaleEvent, ...]:
+        """All scale events in application order (time, then node)."""
+        return tuple(
+            sorted(self.scale_events, key=lambda e: (e.time, e.node))
+        )
+
+    @property
+    def initially_absent(self) -> Tuple[str, ...]:
+        """Nodes that start the run outside the member set (their first
+        scale event is a join), sorted."""
+        absent = []
+        for node in sorted({event.node for event in self.scale_events}):
+            if self.scale_events_for(node)[0].kind == "join":
+                absent.append(node)
+        return tuple(absent)
 
     def crash_for(self, node: str) -> Optional[CrashFault]:
         """The crash scheduled for ``node``, if any."""
@@ -334,6 +431,8 @@ class FaultPlan:
                 f"{fault.kind} {fault.node}.{fault.direction} "
                 f"p={fault.rate:g} [{fault.start:g}, {fault.end:g})"
             )
+        for event in self.scale_timeline:
+            parts.append(f"{event.kind} {event.node} @{event.time:g}")
         if self.transport.loss_probability:
             parts.append(f"loss p={self.transport.loss_probability:g}")
         if self.transport.delay_probability:
@@ -382,6 +481,8 @@ class FaultPlan:
                 f"{fault.kind}:{fault.node}.{fault.direction}"
                 f"@{_span(fault.start, fault.end)}%{fault.rate:g}"
             )
+        for event in self.scale_timeline:
+            clauses.append(f"{event.kind}:{event.node}@{event.time:g}")
         if self.transport.loss_probability:
             clauses.append(
                 f"loss:{self.transport.loss_probability:g}"
@@ -406,6 +507,7 @@ class FaultPlan:
         stragglers: List[StragglerFault] = []
         crashes: List[CrashFault] = []
         integrity: List[IntegrityFault] = []
+        scale_events: List[ScaleEvent] = []
         transport = TransportFault()
         seed = 0
         position = 0
@@ -453,6 +555,15 @@ class FaultPlan:
                     restart_delay = float(delay_text) if sep else None
                     crashes.append(
                         CrashFault(target, float(time_text), restart_delay)
+                    )
+                elif kind in _SCALE_KINDS:
+                    target, window = _split_at(body)
+                    if not window:
+                        raise ConfigError(
+                            f"expected {kind}:<node>@<t>"
+                        )
+                    scale_events.append(
+                        ScaleEvent(kind, target, float(window))
                     )
                 elif kind in _INTEGRITY_KINDS:
                     target, window = _split_at(body)
@@ -507,6 +618,7 @@ class FaultPlan:
                 transport=transport,
                 crashes=tuple(crashes),
                 integrity=tuple(integrity),
+                scale_events=tuple(scale_events),
                 seed=seed,
             )
         except FaultPlanError:

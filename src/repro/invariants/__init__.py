@@ -13,7 +13,10 @@ fault plan does*:
   replay must not lose or double-apply gradient bytes);
 * single completion — no chunk key completes twice;
 * monotone clock — hook events never observe simulated time running
-  backwards.
+  backwards;
+* membership accounting — elastic scale events bump the epoch exactly
+  once each, apply no earlier than scheduled, and never let an
+  iteration be built below the ``min_workers`` floor.
 
 Violations raise a structured
 :class:`~repro.errors.InvariantViolation` naming the invariant, so the
@@ -26,6 +29,7 @@ from repro.invariants.oracle import (
     CreditConservation,
     GradientByteConservation,
     Invariant,
+    MembershipAccounting,
     MonotoneClock,
     SingleCompletion,
     default_invariants,
@@ -36,6 +40,7 @@ __all__ = [
     "CreditConservation",
     "GradientByteConservation",
     "Invariant",
+    "MembershipAccounting",
     "MonotoneClock",
     "SingleCompletion",
     "default_invariants",

@@ -21,6 +21,7 @@ __all__ = [
     "GradientByteConservation",
     "SingleCompletion",
     "MonotoneClock",
+    "MembershipAccounting",
     "ChaosOracle",
     "default_invariants",
 ]
@@ -207,6 +208,61 @@ class MonotoneClock(Invariant):
         return {"last_seen": self._last if self._last is not None else 0.0}
 
 
+class MembershipAccounting(Invariant):
+    """Elastic membership bookkeeping stays internally consistent.
+
+    A no-op for jobs without scale events.  With them: the epoch
+    counter equals the number of applied events (each bumps exactly
+    once, in order), every applied event was scheduled at or before its
+    application (quiesce never time-travels), and no iteration was
+    built below the ``min_workers`` floor — the parking guarantee.
+    """
+
+    name = "membership-accounting"
+
+    def verify(self, job) -> None:
+        manager = getattr(job, "membership", None)
+        if manager is None:
+            return
+        stats = manager.stats()
+        applied = stats["joins"] + stats["leaves"]
+        if stats["epoch"] != applied:
+            raise InvariantViolation(
+                self.name,
+                f"epoch {stats['epoch']} != applied events {applied:.0f}",
+                details={"epoch": stats["epoch"], "applied": applied},
+            )
+        for index, record in enumerate(stats["history"]):
+            if record["epoch"] != index + 1:
+                raise InvariantViolation(
+                    self.name,
+                    f"event {index} carries epoch {record['epoch']}, "
+                    f"expected {index + 1}",
+                    details=dict(record),
+                )
+            if record["applied"] < record["scheduled"]:
+                raise InvariantViolation(
+                    self.name,
+                    f"{record['kind']} of {record['node']} applied at "
+                    f"{record['applied']!r}, before its scheduled "
+                    f"{record['scheduled']!r}",
+                    details=dict(record),
+                )
+        floor = stats["min_workers"]
+        for iteration in range(job._built_iterations):
+            members = job._iteration_members.get(iteration, 0)
+            if members < floor:
+                raise InvariantViolation(
+                    self.name,
+                    f"iteration {iteration} was built with {members} "
+                    f"members, below the min_workers floor of {floor}",
+                    details={"iteration": iteration, "members": members},
+                )
+
+    def summary(self) -> Dict[str, float]:
+        return {}
+
+
 def default_invariants() -> List[Invariant]:
     """The full default check set (fresh instances)."""
     return [
@@ -214,6 +270,7 @@ def default_invariants() -> List[Invariant]:
         GradientByteConservation(),
         SingleCompletion(),
         MonotoneClock(),
+        MembershipAccounting(),
     ]
 
 

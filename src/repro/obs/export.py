@@ -256,6 +256,28 @@ def summarize_trace(events: List[Dict[str, Any]], top: int = 5) -> str:
         lines.append(f"{'events':<22} {'count':>7}")
         for category in sorted(instant_counts):
             lines.append(f"{category:<22} {instant_counts[category]:>7}")
+    membership_points = {
+        category: count
+        for category, count in instant_counts.items()
+        if category.startswith("membership.")
+    }
+    membership_spans = {
+        category: spans
+        for category, spans in by_category.items()
+        if category.startswith("membership.")
+    }
+    if membership_points or membership_spans:
+        # The elastic-membership story: scale events, and how long the
+        # cluster spent quiescing, syncing joiners, and parked.
+        lines.append("")
+        lines.append(f"{'membership':<22} {'count':>7} {'total (ms)':>11}")
+        for category in sorted(set(membership_points) | set(membership_spans)):
+            count = membership_points.get(category, 0)
+            spans = membership_spans.get(category, [])
+            total = sum(event.get("dur", 0.0) for event in spans)
+            lines.append(
+                f"{category:<22} {count + len(spans):>7} {total / 1e3:>11.3f}"
+            )
     longest = sorted(complete, key=lambda event: event.get("dur", 0.0), reverse=True)
     lines.append("")
     lines.append(f"longest {min(top, len(longest))} events:")

@@ -18,7 +18,7 @@ from typing import Any, Dict, List
 __all__ = ["RunReport", "build_run_report"]
 
 #: Bump when the report layout changes incompatibly.
-REPORT_SCHEMA = 1
+REPORT_SCHEMA = 2
 
 
 @dataclass
@@ -43,6 +43,10 @@ class RunReport:
     #: Crash-recovery accounting (empty when the plan has no crashes):
     #: recovery time, replayed iterations, lost work, re-sync bytes.
     recovery: Dict[str, float] = field(default_factory=dict)
+    #: Elastic-membership accounting (empty when the plan has no scale
+    #: events): epoch, member count over time, per-event history with
+    #: quiesce and state-sync durations, parked time.
+    membership: Dict[str, Any] = field(default_factory=dict)
     #: Delivery-protocol accounting (empty when the guard is off):
     #: corrupt/dup/reorder injections, detections, retransmits,
     #: stale-epoch drops — plus the oracle's per-invariant counters
@@ -163,6 +167,11 @@ def build_run_report(job, result) -> RunReport:
         recovery=(
             job.recovery.stats()
             if getattr(job, "recovery", None) is not None
+            else {}
+        ),
+        membership=(
+            job.membership.stats()
+            if getattr(job, "membership", None) is not None
             else {}
         ),
         integrity=integrity,

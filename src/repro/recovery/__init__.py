@@ -12,9 +12,12 @@ deadlocked run.
 from repro.recovery.detector import FailureDetector
 from repro.recovery.liveness import NodeLiveness
 from repro.recovery.manager import RecoveryManager, RecoverySpec
+from repro.recovery.membership import MembershipManager, MembershipSpec
 
 __all__ = [
     "FailureDetector",
+    "MembershipManager",
+    "MembershipSpec",
     "NodeLiveness",
     "RecoveryManager",
     "RecoverySpec",

@@ -69,35 +69,60 @@ class FailureDetector:
         node: str,
         on_death: Callable[[str, float], None],
         on_recovery: Optional[Callable[[str, float], None]] = None,
-    ) -> None:
-        """Probe ``node`` until its crash lifecycle resolves.
+        open_ended: bool = False,
+    ) -> Callable[[], None]:
+        """Probe ``node``; returns a callable that cancels the watch.
 
         ``on_death(node, now)`` fires once, when the miss threshold is
         crossed; ``on_recovery(node, now)`` fires at the first answered
         probe after a declared death (never for permanent crashes).
+
+        By default the node must have a crash window scheduled — the
+        probe chain retires itself once the lifecycle resolves, keeping
+        the event heap finite.  With ``open_ended=True`` the watch also
+        accepts nodes with *no* scheduled crash (an elastically joined
+        node can be monitored without one) and keeps probing past any
+        lifecycle resolution; the caller owns termination and MUST
+        invoke the returned cancel callable, or the probe chain keeps
+        the simulation alive forever.
         """
         window = self.liveness.down_window(node)
-        if window is None:
+        if window is None and not open_ended:
             raise ConfigError(
-                f"node {node!r} has no crash window; nothing to watch"
+                f"node {node!r} has no crash window; nothing to watch "
+                "(pass open_ended=True to monitor it anyway)"
             )
-        state = {"misses": 0, "dead": False}
+        state = {"misses": 0, "dead": False, "cancelled": False}
+
+        def cancel() -> None:
+            # The in-flight probe timeout (if any) fires once more and
+            # sees the flag: the chain stops re-arming — finite heap.
+            state["cancelled"] = True
 
         def probe(_evt=None) -> None:
+            if state["cancelled"]:
+                return  # watch retired
             self.probes_sent += 1
             if self.liveness.is_up(node):
                 if state["dead"]:
                     # First heartbeat after the restart: lifecycle done.
                     state["dead"] = False
+                    state["misses"] = 0
                     self.recoveries_observed += 1
                     if self.trace is not None:
                         self.trace.point("detector.recovered", node)
                     if on_recovery is not None:
                         on_recovery(node, self.env.now)
-                    return
-                state["misses"] = 0
-                if self.env.now >= window[1]:
-                    return  # crash already behind us; stop probing
+                    if not open_ended:
+                        return
+                else:
+                    state["misses"] = 0
+                    if (
+                        window is not None
+                        and self.env.now >= window[1]
+                        and not open_ended
+                    ):
+                        return  # crash already behind us; stop probing
             else:
                 state["misses"] += 1
                 if not state["dead"] and state["misses"] >= self.miss_threshold:
@@ -106,8 +131,13 @@ class FailureDetector:
                     if self.trace is not None:
                         self.trace.point("detector.dead", node)
                     on_death(node, self.env.now)
-                    if math.isinf(window[1]):
+                    if (
+                        window is not None
+                        and math.isinf(window[1])
+                        and not open_ended
+                    ):
                         return  # permanent: no restart to wait for
             self.env.timeout(self.probe_interval).callbacks.append(probe)
 
         probe()
+        return cancel

@@ -53,6 +53,7 @@ class TrainingJob:
         fault_plan=None,
         metrics=None,
         recovery_spec=None,
+        membership_spec=None,
         oracle=None,
         integrity: bool = False,
     ) -> None:
@@ -67,6 +68,13 @@ class TrainingJob:
         #: The :class:`repro.recovery.RecoveryManager`, if the fault
         #: plan scheduled any crashes (set by apply_fault_plan).
         self.recovery = None
+        #: Optional :class:`repro.recovery.MembershipSpec` tuning the
+        #: elastic membership control plane; the injector reads it when
+        #: the fault plan contains join/leave clauses.
+        self.membership_spec = membership_spec
+        #: The :class:`repro.recovery.MembershipManager`, if the fault
+        #: plan scheduled any scale events (set by apply_fault_plan).
+        self.membership = None
         #: Optional :class:`repro.obs.MetricsRegistry`; None keeps every
         #: instrumented hot path at a single attribute check.
         self.metrics = metrics
@@ -114,6 +122,23 @@ class TrainingJob:
         #: Workers that crashed permanently mid-run: excluded from
         #: barriers, countdowns, and completion accounting.
         self._dead_workers: Set[str] = set()
+        #: Workers currently outside the cluster (left, or not joined
+        #: yet): excluded from new iterations but able to return.
+        self._inactive_workers: Set[str] = set()
+        #: Per-worker join gates: a rejoining worker's first forward op
+        #: waits for its state sync (popped by _build_iteration).
+        self._member_gates: Dict[str, object] = {}
+        #: Per-worker count of iterations the worker was included in
+        #: (== _built_iterations while membership never changes).
+        self._expected_iterations: Dict[str, int] = {
+            worker: 0 for worker in self.workers
+        }
+        #: Per-iteration completion times and member counts — the
+        #: membership-aware measurement ledger (iteration i is done
+        #: when every worker included in it finished its backward).
+        self._iteration_done: Dict[int, float] = {}
+        self._iteration_members: Dict[int, int] = {}
+        self._iteration_watches: List[Dict] = []
         #: Every gradient countdown built so far (a late permanent
         #: crash must excuse its worker from all of them).
         self._countdowns: List[ReadyCountdown] = []
@@ -249,8 +274,24 @@ class TrainingJob:
             return duration
         return duration * max(0.05, self._jitter_rng.gauss(1.0, sigma))
 
+    def _included_workers(self) -> List[str]:
+        """Workers participating in the next iteration (neither dead
+        nor elastically inactive)."""
+        return [
+            worker
+            for worker in self.workers
+            if worker not in self._dead_workers
+            and worker not in self._inactive_workers
+        ]
+
     def _build_iteration(self, iteration: int) -> None:
         model = self.model
+        included = self._included_workers()
+        if not included:
+            raise ConfigError(
+                f"iteration {iteration} has no active workers to build for"
+            )
+        excused = sorted(self._dead_workers | self._inactive_workers)
 
         # Communication tasks: one per layer — shared across workers for
         # collectives, per worker for PS.
@@ -263,14 +304,12 @@ class TrainingJob:
                 )
                 tasks[(layer.index, None)] = task
                 countdown = ReadyCountdown(task, len(self.workers))
-                for dead in sorted(self._dead_workers):
-                    countdown.mark_absent(dead)
+                for absent in excused:
+                    countdown.mark_absent(absent)
                 countdowns[(layer.index, None)] = countdown
                 self._countdowns.append(countdown)
         else:
-            for worker in self.workers:
-                if worker in self._dead_workers:
-                    continue
+            for worker in included:
                 for layer in model.layers:
                     # The vanilla framework cannot slice row-sparse
                     # tensors; ByteScheduler partitions everything.
@@ -291,20 +330,29 @@ class TrainingJob:
         if self.metrics is not None:
             pending = {
                 "iteration": iteration,
-                "waiting": {
-                    w for w in self.workers if w not in self._dead_workers
-                },
+                "waiting": set(included),
             }
             self._pending_samples.append(pending)
 
-        for worker in self.workers:
-            if worker in self._dead_workers:
-                continue
+        # Per-iteration completion watch: iteration i is done when every
+        # included worker finished its backward — the membership-aware
+        # boundary :meth:`advance` quiesces at.
+        watch = {"iteration": iteration, "waiting": set(included)}
+        self._iteration_watches.append(watch)
+        self._iteration_members[iteration] = len(included)
+        if hasattr(self.backend, "set_iteration_members"):
+            self.backend.set_iteration_members(iteration, included)
+
+        for worker in included:
             engine = self.engines[worker]
             adapter = self.adapters[worker]
             task_key = (lambda i: (i, None)) if self.backend.is_collective else (
                 lambda i, w=worker: (i, w)
             )
+            self._expected_iterations[worker] += 1
+            # A rejoining worker's first forward waits for its state
+            # sync (the membership manager parks the gate here).
+            member_gate = self._member_gates.pop(worker, None)
 
             # Forward chain (with per-layer gates from the previous
             # iteration's communication).
@@ -316,6 +364,8 @@ class TrainingJob:
                     deps.append(gate)
                 if fp_ops:
                     deps.append(fp_ops[-1])
+                elif member_gate is not None:
+                    deps.append(member_gate)
                 fp_ops.append(
                     engine.post(
                         EngineOp(
@@ -352,6 +402,11 @@ class TrainingJob:
             first_bp.done.callbacks.append(
                 lambda _evt, w=worker: self._markers[w].append(self.env.now)
             )
+            first_bp.done.callbacks.append(
+                lambda _evt, w=worker, wt=watch: self._iteration_worker_done(
+                    w, wt
+                )
+            )
             if pending is not None:
                 first_bp.done.callbacks.append(
                     lambda _evt, w=worker, p=pending: self._worker_done(w, p)
@@ -363,6 +418,12 @@ class TrainingJob:
             if pending in self._pending_samples:
                 self._pending_samples.remove(pending)
             self._sample_iteration(pending["iteration"])
+
+    def _iteration_worker_done(self, worker: str, watch: Dict) -> None:
+        watch["waiting"].discard(worker)
+        if not watch["waiting"] and watch in self._iteration_watches:
+            self._iteration_watches.remove(watch)
+            self._iteration_done[watch["iteration"]] = self.env.now
 
     def mark_worker_dead(self, worker: str) -> None:
         """Permanently remove ``worker`` from the job (crash recovery).
@@ -377,15 +438,57 @@ class TrainingJob:
         if worker in self._dead_workers:
             return
         self._dead_workers.add(worker)
+        self._inactive_workers.discard(worker)
+        self._member_gates.pop(worker, None)
         self.engines[worker].halt()
         if self.backend.is_collective:
             for countdown in self._countdowns:
                 countdown.mark_absent(worker)
+        for watch in list(self._iteration_watches):
+            watch["waiting"].discard(worker)
+            if not watch["waiting"]:
+                self._iteration_watches.remove(watch)
+                self._iteration_done[watch["iteration"]] = self.env.now
         for pending in list(self._pending_samples):
             pending["waiting"].discard(worker)
             if not pending["waiting"]:
                 self._pending_samples.remove(pending)
                 self._sample_iteration(pending["iteration"])
+
+    def deactivate_worker(self, worker: str) -> None:
+        """Remove ``worker`` from future iterations (elastic leave).
+
+        Unlike :meth:`mark_worker_dead` the worker keeps its engine and
+        scheduler state: it may rejoin later via
+        :meth:`activate_worker`.  Callers quiesce at an iteration
+        boundary first (the membership manager's choreography), so no
+        built iteration is still waiting on the leaver.
+        """
+        if worker not in self.engines:
+            raise ConfigError(f"unknown worker {worker!r}")
+        if worker in self._dead_workers:
+            raise ConfigError(
+                f"worker {worker!r} died permanently; it cannot leave"
+            )
+        self._inactive_workers.add(worker)
+        self._member_gates.pop(worker, None)
+
+    def activate_worker(self, worker: str, gate=None) -> None:
+        """(Re-)admit ``worker`` to future iterations (elastic join).
+
+        ``gate`` — an optional :class:`~repro.sim.Event` for the
+        worker's state sync — delays its first forward op until the
+        parameters arrived.
+        """
+        if worker not in self.engines:
+            raise ConfigError(f"unknown worker {worker!r}")
+        if worker in self._dead_workers:
+            raise ConfigError(
+                f"worker {worker!r} died permanently; it cannot join"
+            )
+        self._inactive_workers.discard(worker)
+        if gate is not None:
+            self._member_gates[worker] = gate
 
     def _sample_iteration(self, iteration: int) -> None:
         """Append one per-iteration metrics row: credit occupancy, queue
@@ -474,20 +577,56 @@ class TrainingJob:
             self._build_iteration(self._built_iterations)
             self._built_iterations += 1
 
+    def advance(self, iterations: int) -> int:
+        """Build and run up to ``iterations`` more iterations, one at a
+        time, pausing at every iteration boundary for membership events.
+
+        The boundary protocol behind elastic membership: each iteration
+        is built only after the previous one completed *and* the
+        membership manager applied every matured join/leave (quiesce →
+        epoch bump → reform → credit requeue).  Trailing communication
+        is left in flight across boundaries, so the cross-iteration
+        pipelining the scheduler creates is preserved.  Returns how
+        many iterations actually completed — fewer than asked when the
+        job parks below the ``min_workers`` floor with no joins left.
+        """
+        if iterations < 1:
+            raise ConfigError("iterations must be >= 1")
+        completed = 0
+        for _ in range(iterations):
+            if self.membership is not None and not self.membership.on_boundary():
+                break
+            index = self._built_iterations
+            self._build_iteration(index)
+            self._built_iterations += 1
+            while index not in self._iteration_done:
+                if self.env.peek() == math.inf:
+                    raise ConfigError(
+                        f"iteration {index} cannot complete — the op graph "
+                        "deadlocked"
+                    )
+                self.env.step()
+            completed += 1
+        return completed
+
     def drain(self) -> None:
         """Run the simulation until all built iterations complete.
 
-        Workers that died permanently mid-run are excused — the
-        survivors completing every iteration is the success criterion.
+        Workers that died permanently mid-run are excused — every
+        member completing every iteration it was included in is the
+        success criterion.
         """
+        if self.membership is not None:
+            self.membership.retire_watches()
         self.env.run()
         for worker, times in self._markers.items():
             if worker in self._dead_workers:
                 continue
-            if len(times) != self._built_iterations:
+            expected = self._expected_iterations[worker]
+            if len(times) != expected:
                 raise ConfigError(
                     f"worker {worker} completed {len(times)}/"
-                    f"{self._built_iterations} iterations — the op graph "
+                    f"{expected} iterations — the op graph "
                     "deadlocked"
                 )
         if self.oracle is not None:
@@ -506,6 +645,24 @@ class TrainingJob:
             raise ConfigError(
                 f"invalid segment [{start_iteration}, {end_iteration})"
             )
+        if self.membership is not None:
+            # Membership-aware: worker 0 may not span the segment, so
+            # use per-iteration completion times, and weight each
+            # iteration's samples by how many members trained it.
+            done = self._iteration_done
+            for index in (start_iteration - 1, end_iteration - 1):
+                if index not in done:
+                    raise ConfigError(
+                        f"iteration {index} has not completed yet — drive "
+                        "an elastic job with advance()"
+                    )
+            elapsed = done[end_iteration - 1] - done[start_iteration - 1]
+            per_member = self.model.batch_size * self.cluster.gpus_per_machine
+            samples = sum(
+                per_member * self._iteration_members[index]
+                for index in range(start_iteration, end_iteration)
+            )
+            return samples / elapsed
         times = self._markers[self.workers[0]]
         elapsed = times[end_iteration - 1] - times[start_iteration - 1]
         return self.samples_per_iteration * (end_iteration - start_iteration) / elapsed
@@ -529,6 +686,8 @@ class TrainingJob:
                 "warmup must be >= 1 (iteration 0 has no communication "
                 "overlap and would bias the measurement)"
             )
+        if self.membership is not None:
+            return self._run_elastic(measure, warmup)
         self.extend(warmup + measure)
         self.drain()
         if self._dead_workers and len(self._dead_workers) == len(self.workers):
@@ -544,4 +703,39 @@ class TrainingJob:
             samples_per_iteration=self.samples_per_iteration,
             sample_unit=self.model.sample_unit,
             label=f"{self.model.name} {self.cluster.label} {self.scheduler.kind}",
+        )
+
+    def _run_elastic(self, measure: int, warmup: int) -> TrainingResult:
+        """Iteration-boundary execution for jobs with scale events.
+
+        The per-worker marker ledger cannot describe an elastic run (a
+        joiner has fewer markers than the fleet, by design), so the
+        result is built from the cluster-level per-iteration completion
+        times, with samples/iteration averaged over the measurement
+        window's member counts.
+        """
+        completed = self.advance(warmup + measure)
+        self.drain()
+        measured = completed - warmup
+        if measured < 1:
+            raise ConfigError(
+                f"job parked below min_workers after {completed} "
+                f"iterations — nothing left to measure (warmup={warmup})"
+            )
+        times = [self._iteration_done[index] for index in range(completed)]
+        window = [
+            self._iteration_members[index]
+            for index in range(warmup, completed)
+        ]
+        per_member = self.model.batch_size * self.cluster.gpus_per_machine
+        return TrainingResult(
+            markers={"cluster": times},
+            warmup=warmup,
+            measured=measured,
+            samples_per_iteration=per_member * sum(window) / len(window),
+            sample_unit=self.model.sample_unit,
+            label=(
+                f"{self.model.name} {self.cluster.label} "
+                f"{self.scheduler.kind} elastic"
+            ),
         )

@@ -167,3 +167,45 @@ def test_degraded_finish_chains_multiple_windows():
 
 def test_degraded_finish_zero_work():
     assert degraded_finish(1.0, 0.0, ((0.0, 5.0, 0.5),)) == pytest.approx(1.0)
+
+
+# -- elastic scale events ---------------------------------------------------
+
+
+def test_scale_clauses_round_trip_through_the_grammar():
+    plan = FaultPlan.parse("leave:w1@0.2;join:w1@0.5;join:w4@0.1;seed:7")
+    assert FaultPlan.parse(plan.to_spec()) == plan
+    kinds = [(e.kind, e.node, e.time) for e in plan.scale_timeline]
+    assert kinds == [
+        ("join", "w4", 0.1),
+        ("leave", "w1", 0.2),
+        ("join", "w1", 0.5),
+    ]
+
+
+def test_scale_events_per_node_and_initially_absent():
+    plan = FaultPlan.parse("join:w4@0.1;leave:w1@0.2;join:w1@0.5")
+    assert [e.kind for e in plan.scale_events_for("w1")] == ["leave", "join"]
+    # A node whose first event is a join starts the run absent.
+    assert plan.initially_absent == ("w4",)
+
+
+def test_scale_events_must_alternate_per_node():
+    with pytest.raises(ConfigError, match="alternate"):
+        FaultPlan.parse("leave:w1@0.1;leave:w1@0.3")
+    with pytest.raises(ConfigError, match="alternate"):
+        FaultPlan.parse("join:w2@0.1;join:w2@0.3")
+
+
+def test_scale_event_rejects_bad_time_and_kind():
+    from repro.faults import ScaleEvent
+
+    with pytest.raises(ConfigError):
+        ScaleEvent(kind="join", node="w1", time=-0.5)
+    with pytest.raises(ConfigError):
+        ScaleEvent(kind="shrink", node="w1", time=0.5)
+
+
+def test_crash_and_scale_on_same_node_rejected():
+    with pytest.raises(ConfigError):
+        FaultPlan.parse("crash:w1@0.1+0.1;leave:w1@0.4")

@@ -168,6 +168,7 @@ def test_default_invariants_are_fresh_instances():
         "gradient-byte-conservation",
         "single-completion",
         "monotone-clock",
+        "membership-accounting",
     }
     assert all(a is not b for a, b in zip(first, second))
 

@@ -94,7 +94,7 @@ def test_report_round_trips_through_json(tmp_path):
     path = tmp_path / "report.json"
     result.report.write(str(path))
     data = json.loads(path.read_text())
-    assert data["schema"] == 1
+    assert data["schema"] == 2
     assert data["speed"] == pytest.approx(result.speed)
     assert data["iterations"] == result.report.iterations
     assert "scheduler_stats" in data and "links" in data

@@ -76,3 +76,52 @@ def test_validation_errors():
     detector = FailureDetector(env, liveness)
     with pytest.raises(ConfigError, match="no crash window"):
         detector.watch("ghost", on_death=lambda node, now: None)
+
+
+# -- open-ended watches (elastic membership) --------------------------------
+
+
+def test_watch_without_crash_window_needs_open_ended():
+    env = Environment()
+    liveness = NodeLiveness(env)
+    detector = FailureDetector(env, liveness)
+    with pytest.raises(ConfigError, match="open_ended"):
+        detector.watch("joiner", on_death=lambda node, now: None)
+
+
+def test_open_ended_watch_probes_and_cancel_keeps_heap_finite():
+    env = Environment()
+    liveness = NodeLiveness(env)
+    detector = FailureDetector(env, liveness, probe_interval=0.01)
+    cancel = detector.watch(
+        "joiner", on_death=lambda node, now: None, open_ended=True
+    )
+    # Without the cancel the chain would re-arm forever; cancelling
+    # from inside the simulation lets env.run() drain and return.
+    env.timeout(0.1).callbacks.append(lambda _evt: cancel())
+    env.run()
+    assert env.now < 1.0
+    assert 0 < detector.probes_sent <= 12
+
+
+def test_open_ended_watch_survives_lifecycle_resolution():
+    # A plain watch retires after the crash window resolves; an
+    # open-ended one keeps probing until cancelled.
+    env = Environment()
+    liveness = NodeLiveness(env)
+    liveness.add_window("s0", 0.02, 0.04)
+    detector = FailureDetector(
+        env, liveness, probe_interval=0.01, miss_threshold=1
+    )
+    events = []
+    cancel = detector.watch(
+        "s0",
+        on_death=lambda node, now: events.append(("dead", now)),
+        on_recovery=lambda node, now: events.append(("up", now)),
+        open_ended=True,
+    )
+    env.timeout(0.2).callbacks.append(lambda _evt: cancel())
+    env.run()
+    assert [kind for kind, _now in events] == ["dead", "up"]
+    # Probes continued past the recovery (at 0.04) until the cancel.
+    assert detector.probes_sent >= 15

@@ -1,0 +1,255 @@
+"""Elastic membership: planned join/leave scale events.
+
+The acceptance bar mirrors crash recovery: a run whose worker set
+changes mid-training must stay live (park, never deadlock), converge
+to the same final parameter state as the fault-free run, keep the
+scheduler's credit ledger balanced, and bump the membership epoch
+exactly once per applied event.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+from repro.invariants import ChaosOracle
+from repro.models import custom_model
+from repro.recovery import MembershipManager, MembershipSpec
+from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+from repro.training.runner import resolve_model
+from repro.units import MB
+
+
+def small_model():
+    return custom_model(
+        layer_bytes=[8 * MB, 24 * MB, 4 * MB],
+        fp_times=[0.002] * 3,
+        bp_times=[0.004] * 3,
+        batch_size=16,
+    )
+
+
+def make_job(
+    plan_spec,
+    arch="ps",
+    machines=4,
+    seed=0,
+    min_workers=1,
+    oracle=True,
+    **job_kwargs,
+):
+    cluster = ClusterSpec(
+        machines=machines, gpus_per_machine=1, arch=arch, seed=seed
+    )
+    plan = (
+        FaultPlan.parse(f"{plan_spec};seed:{seed}") if plan_spec else None
+    )
+    return TrainingJob(
+        small_model(),
+        cluster,
+        SchedulerSpec(
+            kind="bytescheduler", partition_bytes=8e6, credit_bytes=32e6
+        ),
+        fault_plan=plan,
+        membership_spec=MembershipSpec(min_workers=min_workers),
+        oracle=ChaosOracle() if oracle else None,
+        **job_kwargs,
+    )
+
+
+# -- spec validation --------------------------------------------------------
+
+
+def test_membership_spec_rejects_bad_floor():
+    with pytest.raises(ConfigError):
+        MembershipSpec(min_workers=0)
+
+
+def test_install_rejects_unknown_node():
+    with pytest.raises(ConfigError, match="unknown worker"):
+        make_job("leave:nope@0.1")
+
+
+# -- PS leave + rejoin ------------------------------------------------------
+
+
+def test_ps_leave_and_rejoin_completes_and_bumps_epoch():
+    job = make_job("leave:w1@0.05;join:w1@0.15")
+    result = job.run(measure=6, warmup=2)
+    assert result.measured == 6
+    stats = job.membership.stats()
+    assert stats["epoch"] == 2
+    assert stats["joins"] == 1
+    assert stats["leaves"] == 1
+    assert len(job.membership.active_members) == 4
+    # Leave drained the worker's in-flight credit back to its core.
+    for core in job._unique_cores():
+        core.check_credit_invariant()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_leave_rejoin_digest_matches_crash_restart_and_fault_free(seed):
+    baseline = make_job(None, seed=seed, oracle=False)
+    baseline.run(measure=4, warmup=2)
+    digest = baseline.backend.sync_digest()
+
+    elastic = make_job("leave:w1@0.05;join:w1@0.15", seed=seed)
+    elastic.run(measure=4, warmup=2)
+    assert elastic.backend.sync_digest() == digest
+
+    cluster = ClusterSpec(machines=4, gpus_per_machine=1, arch="ps", seed=seed)
+    crashed = TrainingJob(
+        small_model(),
+        cluster,
+        SchedulerSpec(
+            kind="bytescheduler", partition_bytes=8e6, credit_bytes=32e6
+        ),
+        fault_plan=FaultPlan.parse(f"crash:w1@0.05+0.1;seed:{seed}"),
+    )
+    crashed.run(measure=4, warmup=2)
+    assert crashed.backend.sync_digest() == digest
+
+
+def test_ps_leave_refunds_credit_and_resizes_barriers():
+    job = make_job("leave:w1@0.05")
+    job.run(measure=4, warmup=1)
+    stats = job.membership.stats()
+    assert stats["leaves"] == 1
+    assert stats["credit_refunded_bytes"] > 0.0
+    assert len(job.membership.active_members) == 3
+    # Iterations built after the leave run three-wide.
+    built = job._built_iterations
+    assert job._iteration_members[built - 1] == 3
+
+
+# -- collective (ring) scale events ----------------------------------------
+
+
+def test_allreduce_leave_and_rejoin_reforms_ring():
+    job = make_job("leave:m1@0.05;join:m1@0.1", arch="allreduce")
+    result = job.run(measure=6, warmup=2)
+    assert result.measured == 6
+    assert job.membership.epoch == 2
+    assert job.backend.live_machines == 4
+
+
+def test_allreduce_scale_out_from_absent_improves_speed():
+    spec = "join:m2@0.08;join:m3@0.08"
+    job = make_job(spec, arch="allreduce", machines=4)
+    # m2/m3 are initially absent (their first event is a join).
+    job.run(measure=10, warmup=2)
+    built = job._built_iterations
+    pre = job.segment_speed(1, 3)
+    post = job.segment_speed(built - 2, built)
+    assert post > pre
+    assert job.membership.epoch == 2
+
+
+def test_ps_scale_out_from_absent_improves_speed():
+    spec = "join:w2@0.15;join:w3@0.15"
+    job = make_job(spec, machines=4)
+    job.run(measure=10, warmup=2)
+    built = job._built_iterations
+    assert job.segment_speed(built - 2, built) > job.segment_speed(1, 3)
+
+
+# -- parking ----------------------------------------------------------------
+
+
+def test_below_floor_parks_instead_of_deadlocking():
+    job = make_job("leave:w1@0.05;leave:w2@0.08;leave:w3@0.11",
+                   min_workers=2)
+    with pytest.raises(ConfigError, match="parked"):
+        job.run(measure=8, warmup=4)
+    assert job.membership.stats()["park_events"] > 0
+
+
+def test_pending_join_unparks_the_job():
+    job = make_job(
+        "leave:w1@0.05;leave:w2@0.08;leave:w3@0.11;join:w1@0.4",
+        min_workers=2,
+    )
+    result = job.run(measure=6, warmup=2)
+    assert result.measured == 6
+    stats = job.membership.stats()
+    assert stats["park_events"] >= 1
+    assert stats["parked_time"] > 0.0
+    assert len(job.membership.active_members) == 2
+
+
+# -- fencing and validation -------------------------------------------------
+
+
+def test_epoch_history_is_sequential_and_quiesced():
+    job = make_job("leave:w1@0.04;join:w1@0.1;leave:w2@0.16")
+    job.run(measure=6, warmup=2)
+    stats = job.membership.stats()
+    history = stats["history"]
+    assert [record["epoch"] for record in history] == [1, 2, 3]
+    for record in history:
+        assert record["applied"] >= record["scheduled"]
+    # Member-count timeline tracks the events.
+    counts = [count for _t, count in stats["member_counts"]]
+    assert counts[0] == 4 and counts[-1] == 3
+
+
+def test_double_leave_is_rejected_at_parse_time():
+    from repro.errors import FaultPlanError
+
+    with pytest.raises(FaultPlanError, match="alternate"):
+        FaultPlan.parse("leave:w1@0.05;leave:w1@0.15")
+
+
+def test_plan_rejects_crash_and_scale_on_same_node():
+    with pytest.raises(ConfigError):
+        FaultPlan.parse("crash:w1@0.1+0.1;leave:w1@0.3")
+
+
+# -- determinism and chaos --------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_storm_is_deterministic_and_oracle_clean(seed):
+    spec = (
+        "leave:w1@0.04;join:w1@0.12;leave:w2@0.2;join:w2@0.3;"
+        "corrupt:w0.up@0-0.4%0.05;dup:w3.up@0-0.4%0.05;"
+        "reorder:w0.down@0-0.4%0.1"
+    )
+    digests = []
+    for _repeat in range(2):
+        job = make_job(spec, seed=seed, integrity=True)
+        job.run(measure=6, warmup=2)
+        assert job.oracle.violations == 0
+        digests.append(tuple(job.backend.sync_digest()))
+    assert digests[0] == digests[1]
+
+    clean = make_job(None, seed=seed, oracle=False)
+    clean.run(measure=6, warmup=2)
+    assert digests[0] == tuple(clean.backend.sync_digest())
+
+
+# -- observability ----------------------------------------------------------
+
+
+def test_membership_lands_in_the_run_report():
+    from repro.obs import build_run_report
+
+    job = make_job("leave:w1@0.05;join:w1@0.15")
+    result = job.run(measure=6, warmup=2)
+    report = build_run_report(job, result)
+    assert report.membership["epoch"] == 2
+    assert report.membership["joins"] == 1
+    assert len(report.membership["history"]) == 2
+    assert report.membership["member_counts"]
+    # Round-trips through JSON.
+    assert "membership" in report.to_dict()
+
+
+def test_membership_events_appear_in_trace():
+    job = make_job("leave:w1@0.05;join:w1@0.15", enable_trace=True)
+    job.run(measure=6, warmup=2)
+    categories = {span.category for span in job.trace.spans}
+    points = {category for _t, category, _name in job.trace.points}
+    assert "membership.leave" in points
+    assert "membership.join" in points
+    assert "membership.quiesce" in categories
+    assert "membership.sync" in categories

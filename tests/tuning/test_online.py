@@ -176,3 +176,95 @@ def test_partition_override_validation():
         ByteSchedulerCore(
             env, NullBackend(), partition_overrides={0: -1.0}
         )
+
+
+# -- restart accounting (PS) ------------------------------------------------
+
+
+class _FixedSearcher:
+    """Stub searcher that always suggests one point."""
+
+    def __init__(self, point):
+        self._point = point
+        self.history = []
+
+    def suggest(self):
+        return self._point
+
+    def observe(self, point, speed):
+        self.history.append((point, speed))
+
+    def best(self):
+        return max(self.history, key=lambda entry: entry[1])
+
+
+def test_first_differing_suggestion_charges_restart():
+    # Regression: last_partition must seed from the job's *current*
+    # partition, so the very first suggestion that changes it is
+    # charged too — not just changes between suggestions.
+    job = make_job(arch="ps", partition=2 * MB, credit=8 * MB)
+    tuner = OnlineTuner(job, space=SPACE, segment_iterations=2,
+                        restart_penalty=7.0)
+    tuner.searcher = _FixedSearcher((8 * MB, 32 * MB))
+    result = tuner.run(segments=3, final_iterations=2)
+    # One partition change (2 MB -> 8 MB on the first segment), then
+    # the stub holds the point steady: exactly one penalty.
+    assert result.restart_overhead == pytest.approx(7.0)
+
+
+def test_unchanged_suggestion_is_free():
+    job = make_job(arch="ps", partition=8 * MB, credit=32 * MB)
+    tuner = OnlineTuner(job, space=SPACE, segment_iterations=2,
+                        restart_penalty=7.0)
+    tuner.searcher = _FixedSearcher((8 * MB, 32 * MB))
+    result = tuner.run(segments=3, final_iterations=2)
+    assert result.restart_overhead == 0.0
+
+
+# -- membership change-point resets -----------------------------------------
+
+
+def _elastic_job(plan_spec="leave:w1@0.05;join:w1@0.15", seed=0):
+    from repro.faults import FaultPlan
+    from repro.recovery import MembershipSpec
+
+    cluster = ClusterSpec(
+        machines=4, gpus_per_machine=1, arch="ps", seed=seed
+    )
+    model = custom_model(
+        layer_bytes=[8 * MB, 24 * MB, 4 * MB],
+        fp_times=[0.002] * 3,
+        bp_times=[0.004] * 3,
+        batch_size=16,
+    )
+    spec = SchedulerSpec(
+        kind="bytescheduler", partition_bytes=8 * MB, credit_bytes=32 * MB
+    )
+    return TrainingJob(
+        model,
+        cluster,
+        spec,
+        fault_plan=FaultPlan.parse(f"{plan_spec};seed:{seed}"),
+        membership_spec=MembershipSpec(min_workers=1),
+    )
+
+
+def test_epoch_change_resets_searcher_and_retunes():
+    job = _elastic_job()
+    tuner = OnlineTuner(job, space=SPACE, segment_iterations=2, seed=0)
+    result = tuner.run(segments=6, final_iterations=2)
+    # Both scale events matured while tuning ran.
+    assert job.membership.epoch == 2
+    assert result.change_point_resets >= 1
+    # The run still converges to a usable configuration.
+    assert result.final_speed > 0
+    assert result.segments
+    # Post-reset history only: resets discarded the stale profiles.
+    assert result.num_segments < 6 + 1
+
+
+def test_static_job_never_resets():
+    job = make_job(arch="allreduce")
+    tuner = OnlineTuner(job, space=SPACE, segment_iterations=2)
+    result = tuner.run(segments=4)
+    assert result.change_point_resets == 0
