@@ -131,6 +131,17 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--cache", action="store_true",
                            help="shorthand for --cache-dir at its "
                                 "default location")
+    reproduce.add_argument("--shard", default=None, metavar="I/N",
+                           help="run shard I of N hosts sharing "
+                                "--cache-dir: this process computes the "
+                                "trials at positions congruent to I mod "
+                                "N and pulls the rest from the cache")
+    reproduce.add_argument("--steal", action="store_true",
+                           help="with --shard: after finishing this "
+                                "shard's slice, take over unfinished "
+                                "trials from other shards (dead hosts' "
+                                "expired claims included) instead of "
+                                "idling")
 
     bench = commands.add_parser(
         "bench", help="run perf microbenchmarks and write BENCH_*.json"
@@ -152,6 +163,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--threshold", type=float, default=0.25,
                        help="allowed fractional drop vs baseline "
                             "(default 0.25)")
+    bench.add_argument("--update-baseline", nargs="?", metavar="PATH",
+                       const="benchmarks/perf/BASELINE.json",
+                       default=None,
+                       help="ratchet the committed baseline: rewrite "
+                            "entries this run improves by more than 5%% "
+                            "(and add new benchmarks); leaves slower or "
+                            "merely-noisy results alone")
 
     trace = commands.add_parser(
         "trace", help="summarize an exported trace-event JSON file"
@@ -376,7 +394,32 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     cache_dir = args.cache_dir
     if cache_dir is None and getattr(args, "cache", False):
         cache_dir = parallel.default_cache_dir()
-    with parallel.session(workers=args.workers, cache_dir=cache_dir):
+    shard = None
+    if getattr(args, "shard", None):
+        from repro.errors import ConfigError
+        from repro.experiments.stealing import ShardSpec
+
+        try:
+            shard = ShardSpec.parse(args.shard)
+        except ConfigError as error:
+            print(f"invalid --shard: {error}", file=sys.stderr)
+            return 2
+        if cache_dir is None:
+            print(
+                "--shard needs --cache-dir (or --cache): the shared "
+                "cache is how shards exchange results",
+                file=sys.stderr,
+            )
+            return 2
+    elif getattr(args, "steal", False):
+        print("--steal only makes sense with --shard", file=sys.stderr)
+        return 2
+    with parallel.session(
+        workers=args.workers,
+        cache_dir=cache_dir,
+        shard=shard,
+        steal=getattr(args, "steal", False),
+    ):
         return _run_reproduce_target(args, exp)
 
 
@@ -489,6 +532,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         format_results,
         load_bench,
         run_suite,
+        update_baseline,
         write_bench,
     )
 
@@ -522,6 +566,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"no regression vs {args.check} "
               f"(threshold {args.threshold * 100:.0f}%)")
+    if args.update_baseline:
+        updated = update_baseline(payload, args.update_baseline)
+        if updated:
+            print(f"baseline {args.update_baseline} ratcheted: "
+                  f"{', '.join(updated)}")
+        else:
+            print(f"baseline {args.update_baseline} unchanged "
+                  f"(no >5% improvements)")
     return 0
 
 

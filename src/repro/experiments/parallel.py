@@ -56,6 +56,7 @@ __all__ = [
     "session",
     "active_cache",
     "active_workers",
+    "active_shard",
 ]
 
 #: Bump whenever simulator or payload changes make old entries invalid.
@@ -228,9 +229,27 @@ def run_trials(
     fan out over a ``ProcessPoolExecutor``.  Either way the i-th payload
     belongs to the i-th spec, and payloads are identical between the two
     paths (see the determinism tests).
+
+    Under a sharded session (``session(shard=...)``, i.e. the CLI's
+    ``--shard i/n``) and with a cache to share results through, the
+    sweep routes through the multi-host work-stealing protocol in
+    :mod:`repro.experiments.stealing` instead — same return value,
+    but this process only *computes* its own slice (plus whatever it
+    steals) and pulls the rest from the shared cache.
     """
     if isinstance(cache, (str, Path)):
         cache = ResultCache(cache)
+    shard = _session["shard"]
+    if shard is not None and cache is not None and len(specs) > 1:
+        from repro.experiments.stealing import run_trials_sharded
+
+        return run_trials_sharded(
+            specs,
+            shard,
+            cache,
+            steal=_session["steal"],
+            workers=workers,
+        )
     if workers is None or workers <= 1 or len(specs) <= 1:
         return [execute_trial(spec, cache=cache) for spec in specs]
     cache_root = str(cache.root) if cache is not None else None
@@ -241,24 +260,45 @@ def run_trials(
 
 # -- process-wide session ---------------------------------------------------
 
-_session: Dict[str, Any] = {"workers": None, "cache": None}
+_session: Dict[str, Any] = {
+    "workers": None,
+    "cache": None,
+    "shard": None,
+    "steal": False,
+}
 
 
 @contextmanager
 def session(
     workers: Optional[int] = None,
     cache_dir: Union[str, Path, None] = None,
+    shard: Optional[Any] = None,
+    steal: bool = False,
 ) -> Iterator[None]:
-    """Enable pooling/caching for every experiment run inside the block.
+    """Enable pooling/caching/sharding for every experiment run inside
+    the block.
 
     ``run_experiment`` consults :func:`active_cache` when its caller
     passes no explicit ``cache``, and sweep drivers consult
     :func:`active_workers` — so a single ``with session(...):`` at the
     CLI boundary accelerates the whole report generation beneath it.
+    ``shard`` (a :class:`~repro.experiments.stealing.ShardSpec`) routes
+    every multi-trial :func:`run_trials` call through the multi-host
+    work-stealing protocol; it requires ``cache_dir``, which is the
+    shared medium the shards coordinate over.
     """
+    if shard is not None and cache_dir is None:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            "sharded sessions need a shared cache directory "
+            "(--cache-dir): the cache is how shards exchange results"
+        )
     previous = dict(_session)
     _session["workers"] = workers
     _session["cache"] = ResultCache(cache_dir) if cache_dir is not None else None
+    _session["shard"] = shard
+    _session["steal"] = steal
     try:
         yield
     finally:
@@ -273,3 +313,8 @@ def active_cache() -> Optional[ResultCache]:
 def active_workers() -> Optional[int]:
     """The session's worker count, if a session is active."""
     return _session["workers"]
+
+
+def active_shard() -> Optional[Any]:
+    """The session's :class:`ShardSpec`, if a sharded session is active."""
+    return _session["shard"]

@@ -17,6 +17,7 @@ from repro.faults.plan import (
     ScaleEvent,
     StragglerFault,
     TransportFault,
+    blackout_time,
     degraded_finish,
     merge_windows,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "TransportFault",
     "apply_fault_plan",
     "make_straggler_scale",
+    "blackout_time",
     "degraded_finish",
     "merge_windows",
 ]

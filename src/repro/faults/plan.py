@@ -721,3 +721,29 @@ def degraded_finish(
             remaining -= capacity
             clock = win_end
     return clock + remaining
+
+
+def blackout_time(
+    start: float,
+    end: float,
+    windows: Sequence[Tuple[float, float, float]],
+) -> float:
+    """Seconds of total stall (``rate_factor`` 0) inside ``[start, end]``.
+
+    Degraded-but-moving windows do not count: a link serialising at a
+    fraction of line rate is still *busy*.  A blackout window is not —
+    no bytes move — so utilisation accounting subtracts it from the
+    serialisation interval (the same on both the store-and-forward and
+    cut-through transmit paths).
+    """
+    stalled = 0.0
+    for win_start, win_end, rate in windows:
+        if rate > 0.0:
+            continue
+        if win_start >= end:
+            break
+        lo = win_start if win_start > start else start
+        hi = win_end if win_end < end else end
+        if hi > lo:
+            stalled += hi - lo
+    return stalled

@@ -10,8 +10,7 @@ link with the local transport model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.sim import Environment, Event, Trace
 from repro.net.link import Link
@@ -26,18 +25,57 @@ from repro.units import GB
 
 __all__ = ["Fabric", "TransferHandle"]
 
+_UNSENT = object()
 
-@dataclass(frozen=True)
+
 class TransferHandle:
     """The two milestones of a transfer.
 
     ``sent`` fires when the message's last byte leaves the *sender's*
     link — the sending buffer is free again (what sender credits track);
     ``delivered`` fires when it reaches the destination.
+
+    ``sent`` is materialised lazily: most transfers (the RDMA PS path,
+    every collective) only ever wait on ``delivered``, so the fabric
+    records the milestone internally and allocates the event — plus its
+    kernel entry — only for handles whose ``sent`` is actually read.
     """
 
-    sent: Event
-    delivered: Event
+    __slots__ = ("delivered", "_env", "_sent", "_sent_value")
+
+    def __init__(
+        self,
+        sent: Optional[Event] = None,
+        delivered: Optional[Event] = None,
+        env: Optional[Environment] = None,
+    ) -> None:
+        self.delivered = delivered
+        self._env = env if env is not None else delivered.env
+        self._sent = sent
+        self._sent_value: Any = _UNSENT
+
+    @property
+    def sent(self) -> Event:
+        event = self._sent
+        if event is None:
+            event = self._sent = Event(self._env)
+            if self._sent_value is not _UNSENT:
+                # The uplink already finished before anyone asked.
+                event.succeed(self._sent_value)
+        return event
+
+    def _mark_sent(self, message: Message) -> None:
+        """Record the sender-side completion (fabric-internal)."""
+        event = self._sent
+        if event is None:
+            self._sent_value = message
+        elif not event.triggered:
+            event.succeed(message)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TransferHandle sent={self._sent!r} delivered={self.delivered!r}>"
+        )
 
 #: Default aggregate intra-node bandwidth (PCIe-class, no NVLink,
 #: matching the paper's testbed machines).
@@ -222,48 +260,66 @@ class Fabric:
         delivered = self.env.event()
         if self.guard is not None and message.checksum is None:
             self.guard.stamp(message)
-        sent = self._launch(message, delivered)
-        return TransferHandle(sent=sent, delivered=delivered)
+        handle = TransferHandle(delivered=delivered, env=self.env)
+        self._launch(message, delivered, handle)
+        return handle
 
-    def _launch(self, message: Message, delivered: Event) -> Event:
+    def _launch(
+        self,
+        message: Message,
+        delivered: Event,
+        handle: Optional[TransferHandle] = None,
+    ) -> None:
         """Put one copy of ``message`` on the wire toward ``delivered``
-        (also the NACK-retransmit re-entry point)."""
+        (also the NACK-retransmit re-entry point — retransmits pass no
+        ``handle``; the original copy already claimed the sender-side
+        milestone)."""
         if not self._node_up(message.src):
             self._drop(message, "src")
-            return self.env.event()
+            return
         src = self.canonical(message.src)
         dst = self.canonical(message.dst)
         if src == dst:
             # Same machine (possibly two tenants' aliases of it): the
             # transfer never touches the NIC, only the loopback.
             checksum_at_switch = message.checksum
-            hop = self._loopbacks[src].transmit(message)
-            hop.callbacks.append(
-                lambda _evt: self._deliver(message, delivered)
-            )
+
+            def _after_loopback(msg: Message) -> None:
+                if handle is not None:
+                    handle._mark_sent(msg)
+                self._deliver(msg, delivered)
+
+            self._loopbacks[src].transmit(message, callback=_after_loopback)
             self._maybe_duplicate(
                 message, delivered, local=True, checksum=checksum_at_switch
             )
-            return hop
-        return self._launch_remote(message, delivered, src, dst)
+            return
+        self._launch_remote(message, delivered, src, dst, handle)
 
     def _launch_remote(
-        self, message: Message, delivered: Event, src: str, dst: str
-    ) -> Event:
+        self,
+        message: Message,
+        delivered: Event,
+        src: str,
+        dst: str,
+        handle: Optional[TransferHandle] = None,
+    ) -> None:
         """Route one remote copy: src uplink, then dst downlink.
 
         ``src``/``dst`` are canonical machine names.  Subclasses with a
         multi-level topology (racks, spine) override this to insert the
-        extra hops.
+        extra hops.  Both hops ride the links' batched completion
+        wake-ups — no per-message kernel timeout on either hop.
         """
-        uplink = self.nics[src].uplink
         downlink = self.nics[dst].downlink
 
-        def _after_uplink(_evt: Event) -> None:
-            if not self._node_up(message.src) or not self._node_up(message.dst):
+        def _after_uplink(msg: Message) -> None:
+            if handle is not None:
+                handle._mark_sent(msg)
+            if not self._node_up(msg.src) or not self._node_up(msg.dst):
                 # The sender died mid-serialisation or the receiver is
                 # already gone: the bytes never make it off the wire.
-                self._drop(message, "wire")
+                self._drop(msg, "wire")
                 return
             # The switch cuts the message through: bytes streamed into
             # the destination while the uplink serialised them, so an
@@ -271,20 +327,20 @@ class Fabric:
             # checksum is captured here — a duplicate is forged from the
             # frame as the switch received it, before the original's own
             # downlink hop can corrupt it.
-            checksum_at_switch = message.checksum
-            hop2 = downlink.transmit_cut_through(
-                message, available_at=self.env.now + self.hop_latency
-            )
-            hop2.callbacks.append(
-                lambda _evt2: self._deliver(message, delivered)
+            checksum_at_switch = msg.checksum
+            downlink.transmit_cut_through(
+                msg,
+                available_at=self.env.now + self.hop_latency,
+                callback=_deliver_hop,
             )
             self._maybe_duplicate(
-                message, delivered, local=False, checksum=checksum_at_switch
+                msg, delivered, local=False, checksum=checksum_at_switch
             )
 
-        sent = uplink.transmit(message)
-        sent.callbacks.append(_after_uplink)
-        return sent
+        def _deliver_hop(msg: Message) -> None:
+            self._deliver(msg, delivered)
+
+        self.nics[src].uplink.transmit(message, callback=_after_uplink)
 
     def _maybe_duplicate(
         self,
@@ -323,13 +379,19 @@ class Fabric:
             # The switch duplicated an already-damaged frame: a second
             # corrupted copy is now on the wire.
             self.guard.stats.corrupt_injected += 1
+        def _deliver_copy(msg: Message) -> None:
+            self._deliver(msg, delivered)
+
         if local:
-            hop = self._loopbacks[self.canonical(message.src)].transmit(copy)
-        else:
-            hop = self.nics[self.canonical(message.dst)].downlink.transmit_cut_through(
-                copy, available_at=self.env.now + self.hop_latency
+            self._loopbacks[self.canonical(message.src)].transmit(
+                copy, callback=_deliver_copy
             )
-        hop.callbacks.append(lambda _evt: self._deliver(copy, delivered))
+        else:
+            self.nics[self.canonical(message.dst)].downlink.transmit_cut_through(
+                copy,
+                available_at=self.env.now + self.hop_latency,
+                callback=_deliver_copy,
+            )
 
     def _deliver(self, message: Message, delivered: Event) -> None:
         """The delivery point: liveness, then the guard's verdict."""

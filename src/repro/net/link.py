@@ -5,16 +5,31 @@ handed to it, the message serialises at line rate behind everything
 already queued, and *nothing can jump ahead* — priority has to be
 enforced above the link, by the scheduler, before enqueueing.
 
-Implementation note: because service is strict FIFO at a fixed rate, a
+Implementation notes: because service is strict FIFO at a fixed rate, a
 link does not need a simulated server process; it keeps a ``busy_until``
-horizon and returns a timeout event for each message's completion.  This
-keeps the event count at one per message, which matters for the large
-figure-10/11/12 sweeps.
+horizon and computes each message's completion time at enqueue.  On top
+of that the completions themselves are **batched**: completion times on
+a serial link never decrease, so the link keeps its own completion FIFO
+and each wake-up drains *every* completion due at that instant in one
+callback — equal-end frames coalesce, and callback-style consumers (the
+fabric's internal hops) ride a bare deferred tuple instead of a
+per-message :class:`Timeout` event, so the old storm of Event
+allocations (object + callbacks list + succeed machinery per hop) is
+gone.  Each frame still arms its own wake-up, deliberately: a
+single armed wake-up per link was built and benchmarked, but one kernel
+entry serving many frames occupies a *different same-instant tie-break
+position* (its sequence number is the head's, not each frame's) and
+measurably perturbed trajectories — simulated iteration times shifted
+by whole transfer slots.  Per-frame wake-ups keep every completion at
+the exact tie-break position the classic API gave it; wake-ups for
+already-drained frames find nothing due and fall through.  The
+Event-returning API is unchanged for everyone else.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from collections import deque
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.sim import Environment, Event, Trace
 from repro.net.message import Message
@@ -44,6 +59,9 @@ class Link:
         self.transport = transport
         self.trace = trace
         self._busy_until = env.now
+        #: Batched completions: ``(end, callback, message)`` in FIFO
+        #: order (ends are non-decreasing — see :meth:`_enqueue`).
+        self._fifo: deque = deque()
         #: Degradation windows imposed by a fault plan: sorted, disjoint
         #: (start, end, rate_factor) triples; empty = healthy.
         self._fault_windows: Tuple[Tuple[float, float, float], ...] = _NO_WINDOWS
@@ -96,9 +114,69 @@ class Link:
 
         return degraded_finish(start, service, self._fault_windows)
 
-    def transmit(self, message: Message) -> Event:
-        """Enqueue ``message``; the returned event fires when its last
-        byte has left this link."""
+    def _account(self, message: Message, start: float, serialise_end: float) -> None:
+        """Byte/message/busy-time accounting, common to both paths.
+
+        Busy time is the serialisation interval minus any blackout
+        (factor-0) stall inside it: a blacked-out link holds the
+        message but moves no bytes, so counting the stall as busy
+        overstated utilisation (and did so differently on the two
+        transmit paths — store-and-forward counted it, cut-through's
+        pinned tail did not exist to compare against).
+        """
+        self.bytes_sent += message.size
+        self.messages_sent += 1
+        busy = serialise_end - start
+        if self._fault_windows:
+            from repro.faults.plan import blackout_time
+
+            busy -= blackout_time(start, serialise_end, self._fault_windows)
+        self.busy_time += busy
+
+    def _enqueue(
+        self, end: float, callback: Callable[[Message], None], message: Message
+    ) -> None:
+        """File a completion on the batched FIFO and arm its wake-up —
+        a bare ``(callback, arg)`` kernel tuple, no Event.
+
+        Correctness rests on completion times never decreasing: every
+        enqueue sets ``busy_until = end`` and the next end is at least
+        ``busy_until``, so the FIFO head is always the earliest
+        completion and :meth:`_drain` can pop strictly from the front.
+        The wake-up is armed *here*, at enqueue, so it occupies the same
+        same-instant tie-break position the classic per-message timeout
+        did — see the module docstring for why that matters.
+        """
+        self._fifo.append((end, callback, message))
+        self.env.defer(self._drain, None, end - self.env._now)
+
+    def _drain(self, _arg: None) -> None:
+        """A completion wake-up: pop and complete every frame due now.
+
+        Equal-end frames coalesce into the earliest wake-up; the later
+        frames' own wake-ups then find nothing due and fall through.
+        A completion callback may enqueue more frames on this link —
+        those land behind the cursor with ``end`` in the future (or due
+        now, in which case the loop drains them too)."""
+        fifo = self._fifo
+        now = self.env._now
+        while fifo and fifo[0][0] <= now:
+            _end, callback, message = fifo.popleft()
+            callback(message)
+
+    def transmit(
+        self,
+        message: Message,
+        callback: Optional[Callable[[Message], None]] = None,
+    ) -> Optional[Event]:
+        """Enqueue ``message``; completion is when its last byte has
+        left this link.
+
+        Without ``callback`` the completion is a returned event (the
+        classic API).  With one, the completion rides the link's
+        batched wake-up — no per-message event or kernel entry — and
+        ``callback(message)`` fires at the exact same simulated time.
+        """
         env = self.env
         now = env._now
         message.enqueued_at = now
@@ -106,9 +184,7 @@ class Link:
         service = self.transport.wire_time(message.size, self.bandwidth)
         end = self._service_end(start, service)
         self._busy_until = end
-        self.bytes_sent += message.size
-        self.messages_sent += 1
-        self.busy_time += end - start
+        self._account(message, start, end)
         extra = 0.0
         if self.integrity is not None:
             extra = self._integrity_delay(message, now)
@@ -122,9 +198,22 @@ class Link:
                 size=message.size,
                 kind=message.kind,
             )
-        return env.timeout(end - now + extra, value=message)
+        if callback is None:
+            return env.timeout(end - now + extra, value=message)
+        if extra > 0.0:
+            # A reorder fate may legitimately complete after later
+            # messages, so it cannot ride the in-order FIFO.
+            env.defer(callback, message, end - now + extra)
+        else:
+            self._enqueue(end, callback, message)
+        return None
 
-    def transmit_cut_through(self, message: Message, available_at: float) -> Event:
+    def transmit_cut_through(
+        self,
+        message: Message,
+        available_at: float,
+        callback: Optional[Callable[[Message], None]] = None,
+    ) -> Optional[Event]:
         """Enqueue a message whose bytes *streamed in* while an upstream
         link serialised them (virtual cut-through).
 
@@ -132,7 +221,8 @@ class Link:
         If this link is idle it finishes almost immediately after that
         (it was receiving and forwarding concurrently); if it is
         backlogged, the message still occupies a full service slot:
-        ``end = max(available_at, busy_until + service)``.
+        ``end = max(available_at, busy_until + service)``.  ``callback``
+        selects the batched completion path, as on :meth:`transmit`.
         """
         env = self.env
         now = env._now
@@ -144,13 +234,11 @@ class Link:
         serialise_end = self._service_end(start, service)
         end = max(available_at, serialise_end)
         self._busy_until = end
-        self.bytes_sent += message.size
-        self.messages_sent += 1
         # Busy time is the serialisation interval only: when ``end`` is
         # pinned by ``available_at`` (a backlogged link waiting on slow
         # upstream bytes), the tail [serialise_end, end] is idle wait,
         # not transmission — counting it overstated utilisation.
-        self.busy_time += serialise_end - start
+        self._account(message, start, serialise_end)
         extra = 0.0
         if self.integrity is not None:
             extra = self._integrity_delay(message, now)
@@ -164,7 +252,16 @@ class Link:
                 size=message.size,
                 kind=message.kind,
             )
-        return env.timeout(max(0.0, end - now) + extra, value=message)
+        if callback is None:
+            return env.timeout(max(0.0, end - now) + extra, value=message)
+        if extra > 0.0:
+            env.defer(callback, message, max(0.0, end - now) + extra)
+        else:
+            # A past ``end`` (available_at already elapsed on an idle
+            # link) means every earlier completion has drained, so
+            # clamping to now keeps the FIFO ends non-decreasing.
+            self._enqueue(end if end > now else now, callback, message)
+        return None
 
     def reset_counters(self) -> None:
         """Zero the byte/message/busy counters (e.g. after warm-up)."""

@@ -133,56 +133,65 @@ class HierarchicalFabric(Fabric):
         return self._rack_of[self.canonical(node)]
 
     def _launch_remote(
-        self, message: Message, delivered: Event, src: str, dst: str
-    ) -> Event:
+        self,
+        message: Message,
+        delivered: Event,
+        src: str,
+        dst: str,
+        handle=None,
+    ) -> None:
         src_rack = self._rack_of[src]
         dst_rack = self._rack_of[dst]
         if src_rack == dst_rack:
-            return super()._launch_remote(message, delivered, src, dst)
+            return super()._launch_remote(message, delivered, src, dst, handle)
 
         uplink = self.nics[src].uplink
         rack_up = self.rack_uplinks[src_rack]
         rack_down = self.rack_downlinks[dst_rack]
         downlink = self.nics[dst].downlink
 
-        def _after_nic_up(_evt: Event) -> None:
-            if not self._node_up(message.src) or not self._node_up(message.dst):
-                self._drop(message, "wire")
+        def _after_nic_up(msg: Message) -> None:
+            if handle is not None:
+                handle._mark_sent(msg)
+            if not self._node_up(msg.src) or not self._node_up(msg.dst):
+                self._drop(msg, "wire")
                 return
             # Forge any injected duplicate from the frame as the ToR
             # switch received it, matching the flat fabric's semantics.
-            checksum_at_switch = message.checksum
-            hop = rack_up.transmit_cut_through(
-                message, available_at=self.env.now + self.hop_latency
+            checksum_at_switch = msg.checksum
+            rack_up.transmit_cut_through(
+                msg,
+                available_at=self.env.now + self.hop_latency,
+                callback=_after_rack_up,
             )
-            hop.callbacks.append(_after_rack_up)
             self._maybe_duplicate(
-                message, delivered, local=False, checksum=checksum_at_switch
+                msg, delivered, local=False, checksum=checksum_at_switch
             )
 
-        def _after_rack_up(_evt: Event) -> None:
-            if not self._node_up(message.dst):
-                self._drop(message, "spine")
+        def _after_rack_up(msg: Message) -> None:
+            if not self._node_up(msg.dst):
+                self._drop(msg, "spine")
                 return
-            hop = rack_down.transmit_cut_through(
-                message, available_at=self.env.now + self.hop_latency
+            rack_down.transmit_cut_through(
+                msg,
+                available_at=self.env.now + self.hop_latency,
+                callback=_after_rack_down,
             )
-            hop.callbacks.append(_after_rack_down)
 
-        def _after_rack_down(_evt: Event) -> None:
-            if not self._node_up(message.dst):
-                self._drop(message, "rack")
+        def _after_rack_down(msg: Message) -> None:
+            if not self._node_up(msg.dst):
+                self._drop(msg, "rack")
                 return
-            hop = downlink.transmit_cut_through(
-                message, available_at=self.env.now + self.hop_latency
-            )
-            hop.callbacks.append(
-                lambda _evt2: self._deliver(message, delivered)
+            downlink.transmit_cut_through(
+                msg,
+                available_at=self.env.now + self.hop_latency,
+                callback=_deliver_hop,
             )
 
-        sent = uplink.transmit(message)
-        sent.callbacks.append(_after_nic_up)
-        return sent
+        def _deliver_hop(msg: Message) -> None:
+            self._deliver(msg, delivered)
+
+        uplink.transmit(message, callback=_after_nic_up)
 
     def reset_counters(self) -> None:
         """Zero NIC, loopback, and rack-link counters."""

@@ -6,14 +6,18 @@ from repro.perf.harness import (
     format_results,
     load_bench,
     run_suite,
+    update_baseline,
     write_bench,
 )
 from repro.perf.micro import (
     MICROBENCHMARKS,
+    bench_claim_protocol,
     bench_cluster,
     bench_dear,
     bench_end_to_end,
     bench_event_throughput,
+    bench_event_throughput_dense,
+    bench_link_burst,
     bench_scheduler_queue,
     bench_sweep,
 )
@@ -21,15 +25,19 @@ from repro.perf.micro import (
 __all__ = [
     "BENCH_SCHEMA",
     "MICROBENCHMARKS",
+    "bench_claim_protocol",
     "bench_cluster",
     "bench_dear",
     "bench_end_to_end",
     "bench_event_throughput",
+    "bench_event_throughput_dense",
+    "bench_link_burst",
     "bench_scheduler_queue",
     "bench_sweep",
     "compare",
     "format_results",
     "load_bench",
     "run_suite",
+    "update_baseline",
     "write_bench",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "write_bench",
     "load_bench",
     "compare",
+    "update_baseline",
     "format_results",
 ]
 
@@ -122,6 +123,40 @@ def compare(
                 f"{name}: not in baseline (refresh the baseline file)"
             )
     return failures
+
+
+def update_baseline(
+    current: Dict[str, Any],
+    baseline_path: Path,
+    min_gain: float = 0.05,
+) -> List[str]:
+    """Ratchet the committed baseline upward from ``current``.
+
+    A benchmark's baseline entry is rewritten only when the current
+    value *improves* on it by more than ``min_gain`` — small wiggles are
+    host noise and rewriting them would churn the file (and silently
+    lower the bar after a lucky slow baseline run).  Benchmarks missing
+    from the baseline are added outright, so a new benchmark pins its
+    first measured value.  Returns the names that changed; the file is
+    rewritten only when that list is non-empty.
+    """
+    baseline_path = Path(baseline_path)
+    try:
+        baseline = load_bench(baseline_path)
+    except OSError:
+        baseline = {"schema": BENCH_SCHEMA, "name": "micro", "results": {}}
+    baseline_results = baseline.setdefault("results", {})
+    updated: List[str] = []
+    for name, result in current.get("results", {}).items():
+        base = baseline_results.get(name)
+        if base is not None and result["value"] < base["value"] * (1.0 + min_gain):
+            continue
+        baseline_results[name] = result
+        updated.append(name)
+    if updated:
+        baseline["python"] = current.get("python", baseline.get("python"))
+        write_bench(baseline, baseline_path)
+    return updated
 
 
 def format_results(payload: Dict[str, Any]) -> str:

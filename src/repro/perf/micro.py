@@ -7,6 +7,12 @@ their time in:
 
 * ``event_throughput`` — the discrete-event kernel alone: processes
   ping-ponging timeouts, no network, no scheduler.
+* ``event_throughput_dense`` — the same kernel under a *dense* pending
+  population (tens of thousands of live timers), the regime where the
+  calendar queue's O(1) buckets beat the heap's O(log n) sifts.
+* ``link_burst`` — back-to-back frames through one FIFO ``Link`` on
+  the batched callback completion path (the per-hop cost every fabric
+  transfer pays, without the Event allocation of the classic API).
 * ``scheduler_queue`` — ByteSchedulerCore enqueue → schedule → credit
   return against a loopback backend, no training job around it.
 * ``end_to_end`` — one complete ``run_experiment`` (the unit every
@@ -14,6 +20,9 @@ their time in:
 * ``dear`` — one complete DeAR run on the all-reduce arch (the
   phase-decoupled dispatch path: reduce-scatter heap + deferred
   all-gather drain).
+* ``claim_protocol`` — the multi-host work-stealing claim board:
+  claim/heartbeat/release cycles plus stale-steal checks on a local
+  scratch directory (filesystem ops, no simulation).
 
 Keep the workloads deterministic: the *work done per run* must not
 drift between commits or the regression gate compares different jobs.
@@ -29,9 +38,12 @@ from repro.comm.base import ChunkHandle, ChunkSpec, CommBackend
 
 __all__ = [
     "bench_event_throughput",
+    "bench_event_throughput_dense",
+    "bench_link_burst",
     "bench_scheduler_queue",
     "bench_end_to_end",
     "bench_dear",
+    "bench_claim_protocol",
     "bench_sweep",
     "MICROBENCHMARKS",
 ]
@@ -65,6 +77,122 @@ def bench_event_throughput(
         "value": total_events / elapsed,
         "wall_s": elapsed,
         "params": {"processes": processes, "steps": steps},
+    }
+
+
+def bench_event_throughput_dense(
+    processes: int = 20000, steps: int = 12
+) -> Dict[str, Any]:
+    """Events/second with a *dense* pending population.
+
+    Tens of thousands of concurrent timers keep that many entries live
+    in the kernel's queue at once — the regime a big fabric sweep or a
+    cluster-scale sim produces, and the one where heap sifts pay
+    O(log n) per event while calendar buckets stay O(1).
+    """
+    env = Environment()
+    total_events = processes * steps
+
+    def worker(index: int):
+        delay = 0.001 + index * 1e-7
+        for _ in range(steps):
+            yield env.timeout(delay)
+
+    for index in range(processes):
+        env.process(worker(index))
+    started = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - started
+    return {
+        "name": "event_throughput_dense",
+        "unit": "events/s",
+        "value": total_events / elapsed,
+        "wall_s": elapsed,
+        "params": {"processes": processes, "steps": steps},
+    }
+
+
+def bench_link_burst(
+    messages: int = 2000, rounds: int = 10
+) -> Dict[str, Any]:
+    """Frames/second through one FIFO link's batched completion path.
+
+    Each round fires a burst of back-to-back frames at an idle link via
+    the callback API — the exact path every fabric hop rides — and runs
+    the kernel until the burst drains.  Measures enqueue + batched
+    wake-up + completion dispatch, with no Event allocated per frame.
+    """
+    from repro.net.link import Link
+    from repro.net.message import Message
+    from repro.net.transport import RDMATransport
+
+    env = Environment()
+    link = Link(env, "bench.up", 1.25e9, RDMATransport())
+    total = messages * rounds
+    completed = [0]
+
+    def _done(_message: Message) -> None:
+        completed[0] += 1
+
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for index in range(messages):
+            link.transmit(
+                Message("w0", "s0", 64 * 1024, kind="push", uid=index),
+                callback=_done,
+            )
+        env.run()
+    elapsed = time.perf_counter() - started
+    if completed[0] != total:
+        raise RuntimeError(
+            f"link burst incomplete: {completed[0]}/{total} frames"
+        )
+    return {
+        "name": "link_burst",
+        "unit": "frames/s",
+        "value": total / elapsed,
+        "wall_s": elapsed,
+        "params": {"messages": messages, "rounds": rounds},
+    }
+
+
+def bench_claim_protocol(cycles: int = 300) -> Dict[str, Any]:
+    """Claim/steal/release cycles/second on the work-stealing board.
+
+    Exercises the primitives a sharded sweep leans on: the ``O_EXCL``
+    claim, the duplicate-claim rejection, the stale check, and the
+    release — all against a throwaway local directory, so the number
+    tracks protocol overhead rather than simulation cost.
+    """
+    import shutil
+    import tempfile as _tempfile
+    from pathlib import Path
+
+    from repro.experiments.stealing import ClaimBoard
+
+    root = Path(_tempfile.mkdtemp(prefix="repro-claims-"))
+    try:
+        board = ClaimBoard(root)
+        started = time.perf_counter()
+        for index in range(cycles):
+            key = f"{index:064x}"
+            if not board.try_claim(key, "bench-a"):
+                raise RuntimeError(f"fresh claim {index} refused")
+            if board.try_claim(key, "bench-b"):
+                raise RuntimeError(f"duplicate claim {index} accepted")
+            board.refresh(key)
+            if board.stale(key, ttl=3600.0):
+                raise RuntimeError(f"fresh claim {index} reported stale")
+            board.release(key)
+        elapsed = time.perf_counter() - started
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "name": "claim_protocol",
+        "unit": "cycles/s",
+        "value": cycles / elapsed,
+        "wall_s": elapsed,
+        "params": {"cycles": cycles},
     }
 
 
@@ -258,8 +386,11 @@ def bench_sweep(
 #: name -> zero-argument callable, in reporting order.
 MICROBENCHMARKS = {
     "event_throughput": bench_event_throughput,
+    "event_throughput_dense": bench_event_throughput_dense,
+    "link_burst": bench_link_burst,
     "scheduler_queue": bench_scheduler_queue,
     "end_to_end": bench_end_to_end,
     "dear": bench_dear,
     "cluster": bench_cluster,
+    "claim_protocol": bench_claim_protocol,
 }

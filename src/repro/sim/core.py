@@ -3,7 +3,7 @@
 A small, deterministic, generator-based kernel in the style of SimPy.
 The pieces:
 
-* :class:`Environment` — owns the simulated clock and the event heap.
+* :class:`Environment` — owns the simulated clock and the event queue.
 * :class:`Event` — a one-shot occurrence with callbacks and a value.
 * :class:`Timeout` — an event that fires after a simulated delay.
 * :class:`Process` — wraps a generator that ``yield``\\ s events; the
@@ -15,31 +15,70 @@ order they were scheduled (FIFO tie-break via a monotonically increasing
 sequence number).  Given the same inputs, a simulation always produces
 the same trajectory — the test suite relies on this.
 
-Performance notes: this kernel is the hot loop under every experiment,
-so the classes carry ``__slots__``, :class:`Timeout` and
-:class:`Process` construction is hand-inlined, and the heap may hold a
-bare ``(callback, arg)`` pair instead of an :class:`Event` (see
+Performance notes: this kernel is the hot loop under every experiment.
+The classes carry ``__slots__``, :class:`Timeout` and :class:`Process`
+construction is hand-inlined, and the queue may hold a bare
+``(callback, arg)`` pair instead of an :class:`Event` (see
 :meth:`Environment.defer`) so zero-delay wakeups and process kick-offs
-allocate nothing.  None of this changes the sequence-number accounting:
-each schedule point still consumes exactly one sequence number, so
-trajectories are identical to the straightforward implementation.
+allocate nothing.
+
+The queue itself comes in two flavours (see :mod:`repro.sim.queues`):
+the default **calendar queue** — a ring of time buckets where a push is
+a comparison-free ``list.append`` and each bucket is sorted once when
+its time comes — and the classic binary **heap** fallback
+(``REPRO_SIM_QUEUE=heap``).  Both order entries by the same
+``(when, key)`` pair, where ``key`` packs the urgency bit above the
+sequence number, so trajectories are bit-identical between them and to
+the straightforward implementation: each schedule point consumes
+exactly one sequence number either way.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import Interrupt, SimulationError
+from repro.sim.queues import resolve_queue
 
 __all__ = ["Environment", "Event", "Timeout", "Process", "PENDING"]
 
 #: Sentinel for "this event has not been triggered yet".
 PENDING = object()
 
-#: Heap priority for interrupts — they pre-empt same-time normal events.
+#: Priority for interrupts — they pre-empt same-time normal events.
 _URGENT = 0
 _NORMAL = 1
+
+#: Queue entries are ``(when, key, item)``; ``key`` packs the priority
+#: above the sequence number (``eid`` for urgent, ``_NORMAL_BASE + eid``
+#: for normal) so one integer compare resolves the full
+#: ``(priority, eid)`` tie-break.  2**53 sequence numbers is ~3 years of
+#: kernel time at current throughput — far beyond any single run.
+_NORMAL_BASE = 1 << 53
+
+_INF = float("inf")
+
+#: Calendar geometry: initial bucket width (seconds per bucket — the
+#: auto-calibration adapts it to the workload), initial/maximum ring
+#: size, and the two re-calibration triggers: every ``_CAL_EVERY``
+#: bucket-loaded events (catches buckets growing too dense) or every
+#: ``_CAL_STEPS`` scanned buckets (catches the opposite failure mode —
+#: a too-narrow width on a sparse timeline scans hundreds of empty
+#: buckets per event but loads so few events that the event-count
+#: trigger alone would never fire within a short run).
+_DEFAULT_WIDTH = 1e-5
+_DEFAULT_BUCKETS = 1024
+_MAX_BUCKETS = 1 << 16
+_CAL_EVERY = 512
+_CAL_STEPS = 2048
+
+#: Ring position larger than ``int(x)`` of any finite float: pinning
+#: ``_cur`` here routes every finite push into the sorted due list,
+#: which is how the ring degrades gracefully once only unreachable
+#: (infinite / beyond-float-index) times remain.
+_CUR_CAP = 1 << 1100
 
 
 class Event:
@@ -62,7 +101,7 @@ class Event:
 
     @property
     def triggered(self) -> bool:
-        """True once the event has a value and is on the heap."""
+        """True once the event has a value and is on the queue."""
         return self._value is not PENDING
 
     @property
@@ -141,7 +180,29 @@ class Timeout(Event):
         self.delay = delay
         eid = env._eid + 1
         env._eid = eid
-        heappush(env._queue, (env._now + delay, _NORMAL, eid, self))
+        when = env._now + delay
+        queue = env._queue
+        if queue is not None:
+            heappush(queue, (when, _NORMAL_BASE + eid, self))
+            return
+        # Calendar push inlined (the comparison-free append path):
+        # timeouts are the single hottest producer of queue entries.
+        try:
+            idx = int(when * env._inv)
+        except (OverflowError, ValueError):
+            heappush(env._far, (when, _NORMAL_BASE + eid, self))
+            return
+        cur = env._cur
+        if cur < idx:
+            if idx - cur < env._nb:
+                env._buckets[idx & env._mask].append(
+                    (when, _NORMAL_BASE + eid, self)
+                )
+                env._size += 1
+            else:
+                heappush(env._far, (when, _NORMAL_BASE + eid, self))
+        else:
+            insort(env._due, (when, _NORMAL_BASE + eid, self), env._pos)
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
@@ -185,11 +246,15 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         # Kick the process off inside env.run() — not with a throwaway
-        # init Event, but with a bare (callback, sentinel) heap entry
+        # init Event, but with a bare (callback, sentinel) queue entry
         # that the run loop dispatches directly.
         eid = env._eid + 1
         env._eid = eid
-        heappush(env._queue, (env._now, _NORMAL, eid, (self._resume, _INIT)))
+        queue = env._queue
+        if queue is not None:
+            heappush(queue, (env._now, _NORMAL_BASE + eid, (self._resume, _INIT)))
+        else:
+            env._push_entry((env._now, _NORMAL_BASE + eid, (self._resume, _INIT)))
 
     @property
     def is_alive(self) -> bool:
@@ -225,7 +290,7 @@ class Process(Event):
         """Advance the generator with the fired event's value."""
         if self._value is not PENDING:
             # Already terminated (e.g. an interrupt raced a target event
-            # that was popped from the heap in the same instant).
+            # that was popped from the queue in the same instant).
             if not event._ok:
                 event.defused = True
             return
@@ -287,7 +352,7 @@ class Process(Event):
 
 
 class Environment:
-    """The simulation environment: clock plus event heap.
+    """The simulation environment: clock plus event queue.
 
     Typical use::
 
@@ -300,15 +365,79 @@ class Environment:
         proc = env.process(hello(env))
         env.run()
         assert proc.value == 3.0
+
+    ``queue`` selects the queue implementation (``"calendar"`` or
+    ``"heap"``); ``None`` consults ``$REPRO_SIM_QUEUE`` and falls back
+    to the calendar queue.  The two are trajectory-identical — see
+    :mod:`repro.sim.queues`.
+
+    Calendar-queue layout (active when ``_queue is None``): ``_due`` is
+    the ascending-sorted list of entries currently due, consumed through
+    the ``_pos`` cursor; ``_buckets`` is a power-of-two ring of
+    unsorted per-bucket lists covering ``_nb`` bucket-widths of future
+    time past ``_cur`` (a push is a bare append — each bucket is sorted
+    once, when :meth:`_refill` loads it); ``_far`` is a heap of entries
+    beyond the ring, drained into it at ring-wrap boundaries.  Pushes at
+    or before the current bucket insort into ``_due`` directly, so
+    same-instant wakeups stay O(length of the current instant), not
+    O(pending).
     """
 
-    __slots__ = ("_now", "_queue", "_eid", "_active_process")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid",
+        "_active_process",
+        # calendar-queue state (unused in heap mode)
+        "_due",
+        "_pos",
+        "_buckets",
+        "_nb",
+        "_mask",
+        "_cur",
+        "_width",
+        "_inv",
+        "_size",
+        "_far",
+        "_cal_events",
+        "_cal_steps",
+        "_cal_loads",
+    )
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self, initial_time: float = 0.0, queue: Optional[str] = None
+    ) -> None:
         self._now = float(initial_time)
-        self._queue: List[tuple] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        if resolve_queue(queue) == "heap":
+            self._queue: Optional[List[tuple]] = []
+            self._due = self._buckets = self._far = None
+            self._pos = self._nb = self._mask = self._cur = self._size = 0
+            self._width = self._inv = 0.0
+            self._cal_events = 0
+            self._cal_steps = 0
+            self._cal_loads = 0
+        else:
+            self._queue = None
+            self._due: List[tuple] = []
+            self._pos = 0
+            self._buckets: List[List[tuple]] = [
+                [] for _ in range(_DEFAULT_BUCKETS)
+            ]
+            self._nb = _DEFAULT_BUCKETS
+            self._mask = _DEFAULT_BUCKETS - 1
+            self._width = _DEFAULT_WIDTH
+            self._inv = 1.0 / _DEFAULT_WIDTH
+            try:
+                self._cur = int(self._now * self._inv)
+            except (OverflowError, ValueError):
+                self._cur = _CUR_CAP
+            self._size = 0
+            self._far: List[tuple] = []
+            self._cal_events = 0
+            self._cal_steps = 0
+            self._cal_loads = 0
 
     @property
     def now(self) -> float:
@@ -319,6 +448,11 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    @property
+    def queue_kind(self) -> str:
+        """Which queue implementation this environment runs on."""
+        return "heap" if self._queue is not None else "calendar"
 
     # -- event factories -------------------------------------------------
 
@@ -351,7 +485,28 @@ class Environment:
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = _NORMAL) -> None:
         eid = self._eid + 1
         self._eid = eid
-        heappush(self._queue, (self._now + delay, priority, eid, event))
+        key = _NORMAL_BASE + eid if priority else eid
+        when = self._now + delay
+        entry = (when, key, event)
+        queue = self._queue
+        if queue is not None:
+            heappush(queue, entry)
+            return
+        # The calendar push, inlined (see _push_entry): most schedules
+        # are same-instant wakeups that insort just past the cursor.
+        try:
+            idx = int(when * self._inv)
+        except (OverflowError, ValueError):
+            heappush(self._far, entry)
+            return
+        cur = self._cur
+        if idx <= cur:
+            insort(self._due, entry, self._pos)
+        elif idx - cur < self._nb:
+            self._buckets[idx & self._mask].append(entry)
+            self._size += 1
+        else:
+            heappush(self._far, entry)
 
     def defer(
         self,
@@ -374,17 +529,231 @@ class Environment:
             raise SimulationError(f"negative defer delay {delay!r}")
         eid = self._eid + 1
         self._eid = eid
-        heappush(self._queue, (self._now + delay, priority, eid, (fn, arg)))
+        key = _NORMAL_BASE + eid if priority else eid
+        when = self._now + delay
+        entry = (when, key, (fn, arg))
+        queue = self._queue
+        if queue is not None:
+            heappush(queue, entry)
+            return
+        try:
+            idx = int(when * self._inv)
+        except (OverflowError, ValueError):
+            heappush(self._far, entry)
+            return
+        cur = self._cur
+        if idx <= cur:
+            insort(self._due, entry, self._pos)
+        elif idx - cur < self._nb:
+            self._buckets[idx & self._mask].append(entry)
+            self._size += 1
+        else:
+            heappush(self._far, entry)
+
+    # -- calendar-queue internals -----------------------------------------
+
+    def _push_entry(self, entry: tuple) -> None:
+        """File ``entry = (when, key, item)`` into the calendar.
+
+        Entries at or before the current bucket insort into the due
+        list (rare: same-instant wakeups); in-ring entries append to
+        their bucket with no comparison at all; the rest heap into the
+        far-future overflow.
+        """
+        try:
+            idx = int(entry[0] * self._inv)
+        except (OverflowError, ValueError):
+            # Infinite (or non-finite) times never index a bucket.
+            heappush(self._far, entry)
+            return
+        cur = self._cur
+        if idx <= cur:
+            insort(self._due, entry, self._pos)
+        elif idx - cur < self._nb:
+            self._buckets[idx & self._mask].append(entry)
+            self._size += 1
+        else:
+            heappush(self._far, entry)
+
+    def _refill(self) -> bool:
+        """Advance the ring to the next non-empty bucket and load it as
+        the new due list.  Only called with the due list exhausted;
+        returns False when nothing is pending anywhere.
+
+        Far-heap entries are drained into the ring at every ring-wrap
+        boundary, so by the time the scan reaches an index, everything
+        filed under it is in its bucket (each entry's last wrap point
+        precedes its index and covers it: ``wrap <= idx < wrap + nb``).
+        When the ring is empty the scan jumps straight to the earliest
+        far entry instead of stepping through empty buckets.
+        """
+        due = self._due
+        due.clear()
+        self._pos = 0
+        size = self._size
+        far = self._far
+        if not size and not far:
+            return False
+        buckets = self._buckets
+        mask = self._mask
+        nb = self._nb
+        inv = self._inv
+        cur = self._cur
+        steps = 0
+        while True:
+            if not size:
+                if not far:
+                    self._cur = cur
+                    self._size = 0
+                    return False
+                try:
+                    jump = int(far[0][0] * inv) - 1
+                except (OverflowError, ValueError):
+                    # Only unreachable-index times remain: serve them
+                    # straight from the due list and pin the ring so
+                    # any later finite push insorts ahead of them.
+                    far.sort()
+                    due.extend(far)
+                    far.clear()
+                    self._cur = _CUR_CAP
+                    self._size = 0
+                    return True
+                if jump > cur:
+                    cur = jump
+            cur += 1
+            steps += 1
+            if far and (not (cur & mask) or not size):
+                lim = cur + nb
+                while far and far[0][0] * inv < lim:
+                    entry = heappop(far)
+                    buckets[int(entry[0] * inv) & mask].append(entry)
+                    size += 1
+            bucket = buckets[cur & mask]
+            if bucket:
+                n = len(bucket)
+                size -= n
+                self._cur = cur
+                self._size = size
+                if n > 1:
+                    bucket.sort()
+                # Promote the bucket to due list wholesale; the spent
+                # due list becomes the (empty) bucket.
+                self._due = bucket
+                buckets[cur & mask] = due
+                self._cal_events += n
+                self._cal_steps += steps
+                self._cal_loads += 1
+                if (
+                    self._cal_events >= _CAL_EVERY
+                    or self._cal_steps >= _CAL_STEPS
+                ) and self._recalibrate():
+                    # Geometry rebuilt: entries were redistributed, so
+                    # the freshly promoted due list may have moved on.
+                    return True if self._due else self._refill()
+                return True
+
+    def _recalibrate(self) -> bool:
+        """Adapt the bucket width to the observed event-time density.
+
+        Called every ``_CAL_EVERY`` bucket-loaded events *or* every
+        ``_CAL_STEPS`` scanned buckets (whichever fires first — the
+        step trigger is what lets a sparse timeline adapt before the
+        event count ever accumulates).  The width estimate is
+        *occupancy-based*: scale the current width so a loaded bucket
+        would have held about a dozen events.  Occupancy is robust
+        where the mean inter-event gap is not — a bursty timeline
+        (clusters of near-simultaneous events separated by long idle
+        stretches, the shape every synchronous-training sim produces)
+        has a huge mean gap that would argue for enormous buckets, yet
+        each cluster must still be *split* across buckets or the due
+        list degenerates into an O(n)-insert sorted array.  Rebuilds
+        (returning True) happen only when the ideal is more than 3x off
+        the current width.  Purely a function of simulated state, so
+        trajectories stay deterministic.
+        """
+        n = self._cal_events
+        loads = self._cal_loads
+        self._cal_events = 0
+        self._cal_steps = 0
+        self._cal_loads = 0
+        if n <= 0 or loads <= 0:
+            return False
+        ideal = self._width * 12.0 * loads / n
+        if ideal < 1e-12:
+            ideal = 1e-12
+        elif ideal > 1e9:
+            ideal = 1e9
+        width = self._width
+        if ideal < width * 3.0 and ideal * 3.0 > width:
+            return False
+        self._rebuild(ideal)
+        return True
+
+    def _rebuild(self, width: float) -> None:
+        """Re-file every pending entry under a new bucket width (and a
+        ring sized to ~4 pending entries per bucket)."""
+        entries = self._due[self._pos:]
+        for bucket in self._buckets:
+            entries.extend(bucket)
+        entries.extend(self._far)
+        nb = _DEFAULT_BUCKETS
+        pending = len(entries)
+        while nb < _MAX_BUCKETS and nb * 4 < pending:
+            nb <<= 1
+        self._width = width
+        self._inv = 1.0 / width
+        self._nb = nb
+        self._mask = nb - 1
+        self._buckets = [[] for _ in range(nb)]
+        self._far = []
+        self._size = 0
+        self._due = []
+        self._pos = 0
+        try:
+            self._cur = int(self._now * self._inv)
+        except (OverflowError, ValueError):
+            self._cur = _CUR_CAP
+        for entry in entries:
+            self._push_entry(entry)
+
+    def _pending(self) -> int:
+        """Number of scheduled-but-unfired entries (for repr/tests)."""
+        if self._queue is not None:
+            return len(self._queue)
+        return (len(self._due) - self._pos) + self._size + len(self._far)
+
+    # -- execution --------------------------------------------------------
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        queue = self._queue
+        if queue is not None:
+            return queue[0][0] if queue else _INF
+        due = self._due
+        pos = self._pos
+        if pos < len(due):
+            return due[pos][0]
+        if self._refill():
+            return self._due[0][0]
+        return _INF
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
-            raise SimulationError("no more events to step through")
-        when, _priority, _eid, event = heappop(self._queue)
+        queue = self._queue
+        if queue is not None:
+            if not queue:
+                raise SimulationError("no more events to step through")
+            when, _key, event = heappop(queue)
+        else:
+            due = self._due
+            pos = self._pos
+            if pos >= len(due):
+                if not self._refill():
+                    raise SimulationError("no more events to step through")
+                due = self._due
+                pos = 0
+            when, _key, event = due[pos]
+            self._pos = pos + 1
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
@@ -401,7 +770,7 @@ class Environment:
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or the clock passes ``until``.
+        """Run until the queue drains or the clock passes ``until``.
 
         When ``until`` is given the clock is advanced exactly to it,
         even if no event fires at that instant.
@@ -413,26 +782,53 @@ class Environment:
                 )
             horizon = float(until)
         else:
-            horizon = float("inf")
+            horizon = _INF
         # step() inlined: this loop is the innermost of the whole
         # simulator, so it avoids the per-event method call and the
         # scheduled-in-the-past guard (unreachable from a monotonic
-        # heap; step() keeps it for direct callers).
+        # queue; step() keeps it for direct callers).
         queue = self._queue
-        while queue and queue[0][0] <= horizon:
-            when, _priority, _eid, event = heappop(queue)
-            self._now = when
-            if event.__class__ is tuple:
-                event[0](event[1])
-                continue
-            callbacks = event.callbacks
-            event.callbacks = None
-            for callback in callbacks:
-                callback(event)
-            if not event._ok and not event.defused:
-                raise event._value
+        if queue is not None:
+            while queue and queue[0][0] <= horizon:
+                when, _key, event = heappop(queue)
+                self._now = when
+                if event.__class__ is tuple:
+                    event[0](event[1])
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    raise event._value
+        else:
+            # The due list and cursor are re-read every iteration:
+            # callbacks push (mutating the due list in place) and may
+            # peek (which can refill, *replacing* the due list).
+            while True:
+                due = self._due
+                pos = self._pos
+                if pos >= len(due):
+                    if not self._refill():
+                        break
+                    due = self._due
+                    pos = 0
+                when, _key, event = due[pos]
+                if when > horizon:
+                    break
+                self._pos = pos + 1
+                self._now = when
+                if event.__class__ is tuple:
+                    event[0](event[1])
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event.defused:
+                    raise event._value
         if until is not None:
             self._now = horizon
 
     def __repr__(self) -> str:
-        return f"<Environment now={self._now} pending={len(self._queue)}>"
+        return f"<Environment now={self._now} pending={self._pending()}>"

@@ -1,0 +1,60 @@
+"""Event-queue selection for the simulation kernel.
+
+:class:`~repro.sim.core.Environment` can run its timeline on either of
+two queue implementations, selected per-environment or process-wide via
+``$REPRO_SIM_QUEUE``:
+
+* ``calendar`` (default) — a calendar queue (Brown 1988): a ring of
+  time buckets plus a sorted "due" list for the current bucket and a
+  far-future overflow heap.  Enqueue and dequeue are O(1) amortised —
+  pushes into a future bucket are plain ``list.append`` with *no
+  comparisons*, and each bucket is sorted once when its day comes up.
+  The bucket width re-calibrates from the observed inter-event gap, so
+  the ring adapts to whatever timescale a workload schedules on.
+* ``heap`` — the classic binary heap (O(log n) per operation), kept as
+  a fallback and as the independent reference implementation for the
+  equivalence tests.
+
+Both implementations order events by ``(time, priority, sequence)`` and
+are **trajectory-identical**: the property tests in
+``tests/sim/test_queues.py`` drive random schedule/defer/interrupt
+sequences through both and assert the exact same pop order, and the
+full experiment suite produces bit-identical report digests under
+either kernel.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["QUEUE_ENV_VAR", "DEFAULT_QUEUE", "QUEUE_KINDS", "resolve_queue"]
+
+#: Environment variable selecting the kernel's queue implementation.
+QUEUE_ENV_VAR = "REPRO_SIM_QUEUE"
+
+#: Used when neither the constructor nor the environment says otherwise.
+DEFAULT_QUEUE = "calendar"
+
+#: Valid queue implementation names.
+QUEUE_KINDS = ("calendar", "heap")
+
+
+def resolve_queue(name: Optional[str] = None) -> str:
+    """Resolve a queue-implementation name to a validated kind.
+
+    ``None`` falls back to ``$REPRO_SIM_QUEUE``, then to
+    :data:`DEFAULT_QUEUE`.  Unknown names raise
+    :class:`~repro.errors.SimulationError` naming the valid choices.
+    """
+    if name is None:
+        name = os.environ.get(QUEUE_ENV_VAR) or DEFAULT_QUEUE
+    kind = name.strip().lower()
+    if kind not in QUEUE_KINDS:
+        raise SimulationError(
+            f"unknown event queue {name!r}: choose from "
+            f"{'/'.join(QUEUE_KINDS)} (or set ${QUEUE_ENV_VAR})"
+        )
+    return kind

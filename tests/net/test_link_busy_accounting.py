@@ -122,3 +122,39 @@ def test_backlogged_link_does_not_charge_idle_tail():
     link.transmit_cut_through(Message("a", "b", 100.0), available_at=10.0)
     assert link.busy_until == pytest.approx(10.0)
     assert link.busy_time == pytest.approx(2.0)
+
+
+def test_blackout_window_not_charged_as_busy():
+    # Regression pin for the factor-0 inconsistency: a blacked-out link
+    # holds the message but moves no bytes.  100 B at 100 B/s starting
+    # at t=0 with a [0.5, 1.5] blackout serialises 0.5 s, stalls 1 s,
+    # then finishes the last 0.5 s — wall span 2 s, busy 1 s.  The
+    # pre-fix transmit() charged the full 2 s while cut-through's
+    # accounting disagreed on the same wire history.
+    env = Environment()
+    link = make_link(env, windows=((0.5, 1.5, 0.0),))
+    link.transmit(Message("a", "b", 100.0))
+    assert link.busy_until == pytest.approx(2.0)
+    assert link.busy_time == pytest.approx(1.0)
+
+
+@given(sizes=sizes, bounds=window_bounds)
+@settings(max_examples=60, deadline=None)
+def test_blackout_busy_time_agrees_between_paths(sizes, bounds):
+    # Under factor-0 windows both transmit paths must charge the exact
+    # same busy time for the same message sequence: the serialisation
+    # slots are identical, and stalls are idle on both.
+    windows = fault_windows(bounds, [0.0, 0.0, 0.0, 0.0])
+    env_plain = Environment()
+    env_cut = Environment()
+    plain = make_link(env_plain, windows=windows)
+    cut = make_link(env_cut, windows=windows)
+    for size in sizes:
+        plain.transmit(Message("a", "b", size))
+        cut.transmit_cut_through(Message("a", "b", size), available_at=0.0)
+    assert plain.busy_time == pytest.approx(cut.busy_time)
+    # With factor 0 every non-stalled second moves full-rate bytes, so
+    # busy time is exactly the healthy service time.
+    assert plain.busy_time == pytest.approx(
+        sum(size / BANDWIDTH for size in sizes)
+    )

@@ -98,7 +98,8 @@ def test_format_results_lists_each_benchmark():
 
 def test_microbenchmarks_registry_names():
     assert set(MICROBENCHMARKS) == {
-        "event_throughput", "scheduler_queue", "end_to_end", "dear", "cluster"
+        "event_throughput", "event_throughput_dense", "link_burst",
+        "scheduler_queue", "end_to_end", "dear", "cluster", "claim_protocol",
     }
 
 
@@ -137,3 +138,50 @@ def test_committed_baseline_is_loadable():
     assert set(MICROBENCHMARKS) <= set(baseline["results"])
     for result in baseline["results"].values():
         assert result["value"] > 0
+
+
+def test_dense_event_throughput_bench_runs():
+    from repro.perf import bench_event_throughput_dense
+
+    result = bench_event_throughput_dense(processes=50, steps=4)
+    assert result["unit"] == "events/s"
+    assert result["value"] > 0
+
+
+def test_link_burst_bench_runs():
+    from repro.perf import bench_link_burst
+
+    result = bench_link_burst(messages=50, rounds=2)
+    assert result["unit"] == "frames/s"
+    assert result["value"] > 0
+
+
+def test_claim_protocol_bench_runs():
+    from repro.perf import bench_claim_protocol
+
+    result = bench_claim_protocol(cycles=10)
+    assert result["unit"] == "cycles/s"
+    assert result["value"] > 0
+
+
+def test_update_baseline_ratchets_only_real_gains(tmp_path):
+    from repro.perf import update_baseline
+
+    path = tmp_path / "BASELINE.json"
+    # First write pins every benchmark outright.
+    first = fake_suite({"a": 100.0, "b": 200.0})
+    assert sorted(update_baseline(first, path)) == ["a", "b"]
+    # Noise-level wiggle (< 5%) leaves the file untouched.
+    before = path.read_text()
+    assert update_baseline(fake_suite({"a": 104.0, "b": 195.0}), path) == []
+    assert path.read_text() == before
+    # A real improvement ratchets only its own entry; a new benchmark
+    # is pinned at first sight.
+    changed = update_baseline(
+        fake_suite({"a": 120.0, "b": 195.0, "c": 7.0}), path
+    )
+    assert sorted(changed) == ["a", "c"]
+    updated = load_bench(path)
+    assert updated["results"]["a"]["value"] == 120.0
+    assert updated["results"]["b"]["value"] == 200.0  # never lowered
+    assert updated["results"]["c"]["value"] == 7.0

@@ -1,0 +1,166 @@
+"""Heap/calendar kernel equivalence: identical trajectories by construction.
+
+The calendar queue is only allowed to change *how fast* the kernel runs,
+never *what* it runs: both implementations order entries by
+``(time, priority, sequence)``, so any program must produce the same
+firing log — same simulated times, same order, same tie-breaks — on
+either.  The property test drives random programs mixing timeouts,
+bare deferred callbacks, process sleeps, and urgent interrupts through
+both kernels and compares the logs exactly (no tolerance: the float
+arithmetic is identical, so the times must be too).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import Interrupt, SimulationError
+from repro.sim import (
+    DEFAULT_QUEUE,
+    QUEUE_ENV_VAR,
+    QUEUE_KINDS,
+    Environment,
+    resolve_queue,
+)
+
+# Exact collisions (tie-breaks) plus wide-dynamic-range floats: the
+# calendar queue must agree with the heap across its due list, its
+# bucket ring, and its far-future overflow heap.
+delays = st.one_of(
+    st.sampled_from([0.0, 0.0, 1e-9, 0.001, 0.001, 0.5, 1.0, 1.0, 2.0]),
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e-5, allow_nan=False),
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("timeout"), delays),
+        st.tuples(st.just("defer"), delays),
+        # A process sleeping ``b`` with an interrupt fuse at ``a``:
+        # covers urgent-priority scheduling and generator resumption.
+        st.tuples(st.just("sleep"), delays, delays),
+        # A timeout whose callback schedules another at fire time:
+        # covers pushes landing behind the calendar cursor mid-run.
+        st.tuples(st.just("chain"), delays, delays),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def execute(ops, queue):
+    """Run one random program and return its complete firing log."""
+    env = Environment(queue=queue)
+    log = []
+    for i, op in enumerate(ops):
+        kind = op[0]
+        if kind == "timeout":
+            env.timeout(op[1], value=i).callbacks.append(
+                lambda _evt, i=i: log.append((env.now, "timeout", i))
+            )
+        elif kind == "defer":
+            env.defer(
+                lambda arg: log.append((env.now, "defer", arg)), i, op[1]
+            )
+        elif kind == "sleep":
+            _, fuse_at, duration = op
+
+            def sleeper(env, i=i, duration=duration):
+                try:
+                    yield env.timeout(duration)
+                    log.append((env.now, "wake", i))
+                except Interrupt:
+                    log.append((env.now, "interrupt", i))
+
+            proc = env.process(sleeper(env))
+
+            def fuse(_evt, proc=proc, i=i):
+                log.append((env.now, "fuse", i))
+                if proc.is_alive:
+                    proc.interrupt("fuse")
+
+            env.timeout(fuse_at).callbacks.append(fuse)
+        elif kind == "chain":
+            _, first, second = op
+
+            def rearm(_evt, i=i, second=second):
+                log.append((env.now, "chain", i))
+                env.timeout(second).callbacks.append(
+                    lambda _evt, i=i: log.append((env.now, "chain2", i))
+                )
+
+            env.timeout(first).callbacks.append(rearm)
+    env.run()
+    return log
+
+
+@given(ops=operations)
+@settings(max_examples=80, deadline=None)
+def test_heap_and_calendar_produce_identical_trajectories(ops):
+    assert execute(ops, "heap") == execute(ops, "calendar")
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_wide_dynamic_range_preserves_order(delays):
+    # Nine decades of delay magnitude forces the calendar through
+    # recalibration and the far-future heap; order must survive.
+    def run(queue):
+        env = Environment(queue=queue)
+        fired = []
+        for i, delay in enumerate(delays):
+            env.timeout(delay).callbacks.append(
+                lambda _evt, i=i: fired.append((env.now, i))
+            )
+        env.run()
+        return fired
+
+    assert run("heap") == run("calendar")
+
+
+def test_infinite_delay_parks_on_overflow_heap():
+    for queue in QUEUE_KINDS:
+        env = Environment(queue=queue)
+        fired = []
+        env.timeout(math.inf).callbacks.append(lambda _evt: fired.append("inf"))
+        env.timeout(1.0).callbacks.append(lambda _evt: fired.append("finite"))
+        env.run(until=10.0)
+        assert fired == ["finite"]
+        assert env.now == 10.0
+
+
+def test_queue_kind_reports_selection(monkeypatch):
+    assert Environment(queue="heap").queue_kind == "heap"
+    assert Environment(queue="calendar").queue_kind == "calendar"
+    monkeypatch.delenv(QUEUE_ENV_VAR, raising=False)
+    assert Environment().queue_kind == DEFAULT_QUEUE
+
+
+def test_env_var_selects_kernel(monkeypatch):
+    monkeypatch.setenv(QUEUE_ENV_VAR, "heap")
+    assert Environment().queue_kind == "heap"
+    monkeypatch.setenv(QUEUE_ENV_VAR, "calendar")
+    assert Environment().queue_kind == "calendar"
+    monkeypatch.delenv(QUEUE_ENV_VAR)
+    assert Environment().queue_kind == DEFAULT_QUEUE
+
+
+def test_unknown_queue_name_rejected(monkeypatch):
+    with pytest.raises(SimulationError, match="unknown event queue"):
+        Environment(queue="splay-tree")
+    monkeypatch.setenv(QUEUE_ENV_VAR, "fibonacci")
+    with pytest.raises(SimulationError, match="fibonacci"):
+        resolve_queue()
+
+
+def test_constructor_overrides_env_var(monkeypatch):
+    monkeypatch.setenv(QUEUE_ENV_VAR, "heap")
+    assert Environment(queue="calendar").queue_kind == "calendar"
