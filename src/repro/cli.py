@@ -109,7 +109,8 @@ def build_parser() -> argparse.ArgumentParser:
             "figure2", "figure4", "figure9", "figure10", "figure11",
             "figure12", "figure13", "figure14", "table1", "p3",
             "bounds", "ablations", "extensions", "coscheduling", "faults",
-            "recovery", "integrity", "dear", "cluster", "elastic", "all",
+            "recovery", "integrity", "dear", "cluster", "elastic", "drift",
+            "all",
         ],
     )
     reproduce.add_argument("--fast", action="store_true",
@@ -516,6 +517,8 @@ def _run_reproduce_target(args: argparse.Namespace, exp) -> int:
         )))
     elif target == "elastic":
         print(exp.elastic.format_result(exp.elastic.run(fast=fast)))
+    elif target == "drift":
+        print(exp.drift.format_result(exp.drift.run(fast=fast)))
     elif target == "extensions":
         machines = 2 if fast else 4
         print(exp.extensions.format_per_layer(exp.extensions.per_layer_partitions(machines=machines)))

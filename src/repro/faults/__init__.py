@@ -11,6 +11,7 @@ same faulted trajectory, byte for byte.
 from repro.faults.inject import apply_fault_plan, make_straggler_scale
 from repro.faults.plan import (
     CrashFault,
+    DriftFault,
     FaultPlan,
     IntegrityFault,
     LinkFault,
@@ -18,12 +19,15 @@ from repro.faults.plan import (
     StragglerFault,
     TransportFault,
     blackout_time,
+    compose_windows,
     degraded_finish,
     merge_windows,
+    sample_drift_windows,
 )
 
 __all__ = [
     "CrashFault",
+    "DriftFault",
     "FaultPlan",
     "IntegrityFault",
     "LinkFault",
@@ -33,6 +37,8 @@ __all__ = [
     "apply_fault_plan",
     "make_straggler_scale",
     "blackout_time",
+    "compose_windows",
     "degraded_finish",
     "merge_windows",
+    "sample_drift_windows",
 ]

@@ -31,7 +31,12 @@ from typing import TYPE_CHECKING, Tuple
 from repro.errors import ConfigError
 from repro.net.fabric import Fabric
 from repro.net.transport import FaultyTransport, LinkIntegrityInjector
-from repro.faults.plan import FaultPlan, merge_windows
+from repro.faults.plan import (
+    FaultPlan,
+    compose_windows,
+    merge_windows,
+    sample_drift_windows,
+)
 
 #: Knuth multiplicative hash, decorrelating the integrity RNG stream
 #: from the transport-fault stream without str/tuple seeds (which vary
@@ -62,13 +67,30 @@ def make_straggler_scale(windows: Tuple[Tuple[float, float, float], ...]):
     return scale
 
 
+def _chain_walk_scale(inner, walk_windows):
+    """Multiply a drift random-walk multiplier on top of the static
+    straggler hook (whose first-matching-window semantics it keeps)."""
+
+    def scale(now: float, duration: float) -> float:
+        duration = inner(now, duration)
+        for start, end, multiplier in walk_windows:
+            if start <= now < end:
+                return duration * multiplier
+            if start > now:
+                break
+        return duration
+
+    return scale
+
+
 def apply_fault_plan(job: "TrainingJob", plan: FaultPlan) -> None:
     """Impose ``plan`` on a freshly built :class:`TrainingJob`."""
     if plan.empty:
         return
     rng = random.Random(plan.seed)
 
-    # Stragglers: per-worker compute slowdown windows on the engine.
+    # Stragglers: per-worker compute slowdown windows on the engine,
+    # with any walk-drift multiplier chained multiplicatively on top.
     known_workers = set(job.workers)
     for fault in plan.stragglers:
         if fault.worker not in known_workers:
@@ -76,10 +98,24 @@ def apply_fault_plan(job: "TrainingJob", plan: FaultPlan) -> None:
                 f"fault plan names unknown worker {fault.worker!r}; "
                 f"workers are {sorted(known_workers)}"
             )
+    for fault in plan.drift:
+        if (
+            fault.kind == "walk"
+            and not fault.direction
+            and fault.node not in known_workers
+        ):
+            raise ConfigError(
+                f"fault plan names unknown worker {fault.node!r}; "
+                f"workers are {sorted(known_workers)}"
+            )
     for worker in job.workers:
         windows = plan.straggler_windows(worker)
-        if windows:
-            job.engines[worker].compute_scale = make_straggler_scale(windows)
+        walk = plan.drift_walk_windows(worker)
+        if windows or walk:
+            scale = make_straggler_scale(windows)
+            if walk:
+                scale = _chain_walk_scale(scale, walk)
+            job.engines[worker].compute_scale = scale
 
     if job.fabric is not None:
         _apply_to_fabric(job.fabric, plan, rng)
@@ -109,17 +145,31 @@ def _apply_to_fabric(fabric: Fabric, plan: FaultPlan, rng: random.Random) -> Non
                 f"fault plan names unknown node {fault.node!r}; "
                 f"nodes are {fabric.nodes}"
             )
+    for fault in plan.drift:
+        if fault.kind == "walk" and not fault.direction:
+            continue  # compute walk: lands on the worker's engine
+        if fault.node not in fabric.nics:
+            raise ConfigError(
+                f"fault plan names unknown node {fault.node!r}; "
+                f"nodes are {fabric.nodes}"
+            )
     for node in fabric.nodes:
         nic = fabric.nic(node)
-        up = plan.link_windows(node, "up")
-        if up:
-            nic.uplink.set_fault_windows(up)
-        down = plan.link_windows(node, "down")
-        if down:
-            nic.downlink.set_fault_windows(down)
-        loop = plan.link_windows(node, "loop")
-        if loop:
-            fabric.loopback(node).set_fault_windows(loop)
+        targets = (
+            ("up", nic.uplink),
+            ("down", nic.downlink),
+            ("loop", fabric.loopback(node)),
+        )
+        for direction, link in targets:
+            # Static windows (merged, disjoint) overlaid with the
+            # sampled drift profile: factors multiply where they
+            # overlap, and a factor-0 blackout survives composition.
+            windows = compose_windows(
+                plan.link_windows(node, direction),
+                plan.drift_link_windows(node, direction),
+            )
+            if windows:
+                link.set_fault_windows(windows)
     if plan.transport.active:
         faulty = FaultyTransport(fabric.transport, plan.transport, rng)
         fabric.transport = faulty
@@ -186,8 +236,20 @@ def _apply_to_collective(backend, plan: FaultPlan, rng: random.Random) -> None:
                 f"all-reduce nodes are {list(backend.workers)}"
             )
         windows.append((fault.start, fault.end, fault.rate_factor))
-    if windows:
-        backend.set_fault_windows(merge_windows(windows))
+    combined = merge_windows(windows) if windows else ()
+    for fault in plan.drift:
+        if fault.kind == "walk" and not fault.direction:
+            continue  # compute walk: worker's engine, not the pipe
+        if fault.node not in backend.workers:
+            raise ConfigError(
+                f"fault plan names unknown node {fault.node!r}; "
+                f"all-reduce nodes are {list(backend.workers)}"
+            )
+        combined = compose_windows(
+            combined, sample_drift_windows(fault, plan.seed)
+        )
+    if combined:
+        backend.set_fault_windows(combined)
     if plan.transport.active and plan.transport.loss_probability > 0:
         backend.set_loss(plan.transport.loss_probability, rng)
     if plan.integrity:

@@ -35,7 +35,19 @@ Clauses are semicolon-separated:
 * ``dup:<node>.<up|down|loop>@<start>-<end>%<rate>``
 * ``reorder:<node>.<up|down|loop>@<start>-<end>%<rate>``
 * ``join:<node>@<t>`` / ``leave:<node>@<t>`` (planned scale events)
+* ``drift:diurnal:<node>.<dir>@<start>-<end>~<period>x<floor>``
+* ``drift:ramp:<node>.<dir>@<start>-<end>x<from>-<to>``
+* ``drift:walk:<worker|node.dir>@<start>-<end>~<tick>x<sigma>-<cap>``
+* ``drift:background:<node>.<dir>@<start>-<end>~<tick>x<load>``
 * ``seed:<int>``
+
+Drift clauses describe *continuous* time-varying processes (a sinusoidal
+bandwidth curve, a linear ramp, a seeded random-walk straggler, a
+background tenant's traffic) that the sampler discretises into the same
+piecewise-constant windows the injector already applies — so the
+blackout/busy-time accounting and the chaos oracle keep closing
+unchanged.  All randomness comes from ``seed:`` (plus a per-clause salt),
+so two runs of the same plan drift identically.
 
 Malformed clauses raise :class:`~repro.errors.FaultPlanError` naming
 the clause and its position, and :meth:`FaultPlan.to_spec` emits the
@@ -46,6 +58,8 @@ grammar-expressible plan.
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
@@ -53,19 +67,42 @@ from repro.errors import ConfigError, FaultPlanError
 
 __all__ = [
     "CrashFault",
+    "DriftFault",
     "IntegrityFault",
     "LinkFault",
     "ScaleEvent",
     "StragglerFault",
     "TransportFault",
     "FaultPlan",
+    "compose_windows",
     "degraded_finish",
     "merge_windows",
+    "sample_drift_windows",
 ]
 
 _DIRECTIONS = ("up", "down", "loop", "both")
 _INTEGRITY_KINDS = ("corrupt", "dup", "reorder")
 _SCALE_KINDS = ("join", "leave")
+_DRIFT_KINDS = ("diurnal", "ramp", "walk", "background")
+
+#: Default clip on the random-walk straggler multiplier when the clause
+#: omits the ``-<cap>`` suffix.
+DEFAULT_WALK_CAP = 8.0
+
+#: Piecewise-constant steps per diurnal cycle (and per ramp window)
+#: when discretising the continuous curve.  Sized so one stair moves
+#: the rate factor by ~1% at the curve's steepest point — a control
+#: loop profiling sub-second segments should see a drift, not a
+#: staircase of step changes.
+DRIFT_RESOLUTION = 64
+
+#: Hard cap on steps sampled from one drift clause — bounds the window
+#: lists the links scan on every transmit.
+MAX_DRIFT_STEPS = 4096
+
+#: Decorrelates the per-clause drift RNG stream from the transport and
+#: integrity streams (xxhash prime; see inject._INTEGRITY_SEED_SALT).
+_DRIFT_SEED_SALT = 2246822519
 
 
 @dataclass(frozen=True)
@@ -230,6 +267,133 @@ class ScaleEvent:
 
 
 @dataclass(frozen=True)
+class DriftFault:
+    """One continuous time-varying process, sampled from the plan seed.
+
+    ``kind`` selects the process; the two ``level`` fields are
+    kind-specific:
+
+    * ``diurnal`` — the link's rate factor follows one minus a raised
+      cosine: 1.0 at each cycle boundary, dipping to ``level`` (the
+      floor) mid-cycle, with cycle length ``period``;
+    * ``ramp`` — the rate factor moves linearly from ``level`` at
+      ``start`` to ``level2`` at ``end`` (no ``period``);
+    * ``walk`` — a seeded geometric random walk, one ``exp(N(0,
+      level))`` step per ``period`` seconds, clipped to ``[1, level2]``.
+      With a bare ``node`` (empty ``direction``) the walk is a worker's
+      compute multiplier; with a ``node.direction`` target it degrades
+      the link instead, whose rate factor becomes the walk's
+      reciprocal (in ``[1/level2, 1]``);
+    * ``background`` — a co-scheduled tenant's traffic contends for the
+      link: every ``period`` seconds a demand of ``level × U(0.5, 1.5)``
+      (relative to our own) is drawn and the rate factor becomes our
+      arbitrated share under the cluster layer's ``link_shares`` model.
+    """
+
+    kind: str
+    node: str
+    direction: str  # 'up', 'down', 'loop', 'both'; '' for walk
+    start: float
+    end: float
+    period: float = 0.0
+    level: float = 0.0
+    level2: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _DRIFT_KINDS:
+            raise ConfigError(
+                f"drift kind must be one of {_DRIFT_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "walk":
+            if self.direction and self.direction not in _DIRECTIONS:
+                raise ConfigError(
+                    "walk drift targets a bare worker (compute) or "
+                    f"<node>.<{'|'.join(_DIRECTIONS)}> (link), "
+                    f"got direction {self.direction!r}"
+                )
+        elif self.direction not in _DIRECTIONS:
+            raise ConfigError(
+                f"drift direction must be one of {_DIRECTIONS}, "
+                f"got {self.direction!r}"
+            )
+        if not 0.0 <= self.start < self.end or not math.isfinite(self.end):
+            raise ConfigError(
+                f"drift window must be finite: [{self.start!r}, {self.end!r})"
+            )
+        if self.kind == "ramp":
+            if self.period:
+                raise ConfigError("ramp drift takes no ~<period>")
+            for value in (self.level, self.level2):
+                if not 0.0 < value <= 1.0:
+                    raise ConfigError(
+                        f"ramp factors must be in (0, 1], got {value!r}"
+                    )
+            return
+        if not 0.0 < self.period < math.inf:
+            raise ConfigError(
+                f"{self.kind} drift needs a finite ~<period> > 0, "
+                f"got {self.period!r}"
+            )
+        if self.kind == "diurnal":
+            if not 0.0 < self.level <= 1.0:
+                raise ConfigError(
+                    f"diurnal floor must be in (0, 1], got {self.level!r}"
+                )
+            if self.level2:
+                raise ConfigError("diurnal takes a single x<floor>")
+        elif self.kind == "walk":
+            if not 0.0 < self.level < math.inf:
+                raise ConfigError(
+                    f"walk sigma must be > 0, got {self.level!r}"
+                )
+            if not 1.0 <= self.level2 < math.inf:
+                raise ConfigError(
+                    f"walk cap must be >= 1, got {self.level2!r}"
+                )
+        else:  # background
+            if not 0.0 < self.level < math.inf:
+                raise ConfigError(
+                    f"background load must be > 0, got {self.level!r}"
+                )
+            if self.level2:
+                raise ConfigError("background takes a single x<load>")
+        if self.steps > MAX_DRIFT_STEPS:
+            raise ConfigError(
+                f"drift clause would sample {self.steps} steps "
+                f"(cap {MAX_DRIFT_STEPS}); widen ~<period> or shrink "
+                "the window"
+            )
+
+    @property
+    def steps(self) -> int:
+        """Piecewise-constant steps the sampler will produce."""
+        span = self.end - self.start
+        if self.kind == "ramp":
+            return DRIFT_RESOLUTION
+        if self.kind == "diurnal":
+            return max(1, math.ceil(span / self.period * DRIFT_RESOLUTION))
+        return max(1, math.ceil(span / self.period))
+
+    def clause(self) -> str:
+        """The canonical grammar clause for this fault."""
+        if self.kind == "walk" and not self.direction:
+            target = self.node
+        else:
+            target = f"{self.node}.{self.direction}"
+        span = _span(self.start, self.end)
+        if self.kind == "diurnal":
+            return f"drift:diurnal:{target}@{span}~{self.period:g}x{self.level:g}"
+        if self.kind == "ramp":
+            return f"drift:ramp:{target}@{span}x{self.level:g}-{self.level2:g}"
+        if self.kind == "walk":
+            return (
+                f"drift:walk:{target}@{span}~{self.period:g}"
+                f"x{self.level:g}-{self.level2:g}"
+            )
+        return f"drift:background:{target}@{span}~{self.period:g}x{self.level:g}"
+
+
+@dataclass(frozen=True)
 class TransportFault:
     """Probabilistic per-message loss and delay at the transport layer.
 
@@ -272,6 +436,7 @@ class FaultPlan:
     crashes: Tuple[CrashFault, ...] = ()
     integrity: Tuple[IntegrityFault, ...] = ()
     scale_events: Tuple[ScaleEvent, ...] = ()
+    drift: Tuple[DriftFault, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -330,6 +495,7 @@ class FaultPlan:
             and not self.crashes
             and not self.integrity
             and not self.scale_events
+            and not self.drift
             and not self.transport.active
         )
 
@@ -400,6 +566,43 @@ class FaultPlan:
             )
         )
 
+    def drift_link_windows(
+        self, node: str, direction: str
+    ) -> Tuple[Tuple[float, float, float], ...]:
+        """Composed piecewise-constant rate-factor profile from every
+        link-drift clause touching one link, sampled from the plan seed.
+
+        Overlapping drift clauses multiply (two contending processes
+        both take their bite), unlike the static ``link_windows`` which
+        reject overlap.
+        """
+        profile: Tuple[Tuple[float, float, float], ...] = ()
+        for fault in self.drift:
+            if fault.kind == "walk" and not fault.direction:
+                continue
+            if fault.node == node and fault.direction in (direction, "both"):
+                profile = compose_windows(
+                    profile, sample_drift_windows(fault, self.seed)
+                )
+        return profile
+
+    def drift_walk_windows(
+        self, worker: str
+    ) -> Tuple[Tuple[float, float, float], ...]:
+        """Composed compute-multiplier profile (>= 1 inside windows)
+        from every compute ``walk`` drift clause on one worker."""
+        profile: Tuple[Tuple[float, float, float], ...] = ()
+        for fault in self.drift:
+            if (
+                fault.kind == "walk"
+                and not fault.direction
+                and fault.node == worker
+            ):
+                profile = compose_windows(
+                    profile, sample_drift_windows(fault, self.seed)
+                )
+        return profile
+
     def with_seed(self, seed: int) -> "FaultPlan":
         """The same schedule drawn from a different RNG stream."""
         return replace(self, seed=seed)
@@ -433,6 +636,16 @@ class FaultPlan:
             )
         for event in self.scale_timeline:
             parts.append(f"{event.kind} {event.node} @{event.time:g}")
+        for fault in self.drift:
+            target = (
+                fault.node
+                if not fault.direction
+                else f"{fault.node}.{fault.direction}"
+            )
+            parts.append(
+                f"drift {fault.kind} {target} "
+                f"[{fault.start:g}, {fault.end:g})"
+            )
         if self.transport.loss_probability:
             parts.append(f"loss p={self.transport.loss_probability:g}")
         if self.transport.delay_probability:
@@ -483,6 +696,8 @@ class FaultPlan:
             )
         for event in self.scale_timeline:
             clauses.append(f"{event.kind}:{event.node}@{event.time:g}")
+        for fault in self.drift:
+            clauses.append(fault.clause())
         if self.transport.loss_probability:
             clauses.append(
                 f"loss:{self.transport.loss_probability:g}"
@@ -508,6 +723,7 @@ class FaultPlan:
         crashes: List[CrashFault] = []
         integrity: List[IntegrityFault] = []
         scale_events: List[ScaleEvent] = []
+        drift: List[DriftFault] = []
         transport = TransportFault()
         seed = 0
         position = 0
@@ -579,6 +795,8 @@ class FaultPlan:
                             kind, node, direction, start, end, float(rate_text)
                         )
                     )
+                elif kind == "drift":
+                    drift.append(_parse_drift(body))
                 elif kind == "loss":
                     prob, _, penalty = body.partition("@")
                     transport = replace(
@@ -619,6 +837,7 @@ class FaultPlan:
                 crashes=tuple(crashes),
                 integrity=tuple(integrity),
                 scale_events=tuple(scale_events),
+                drift=tuple(drift),
                 seed=seed,
             )
         except FaultPlanError:
@@ -631,6 +850,45 @@ def _span(start: float, end: float) -> str:
     """Canonical ``<start>-<end>`` text (``inf`` spelled out)."""
     end_text = "inf" if math.isinf(end) else f"{end:g}"
     return f"{start:g}-{end_text}"
+
+
+def _parse_drift(body: str) -> DriftFault:
+    """``<kind>:<target>@<start>-<end>[~<period>]x<level>[-<level2>]``."""
+    dkind, sep, rest = body.partition(":")
+    dkind = dkind.strip().lower()
+    if not sep or dkind not in _DRIFT_KINDS:
+        raise ConfigError(
+            f"expected drift:<{'|'.join(_DRIFT_KINDS)}>:<target>@..., "
+            f"got drift:{body!r}"
+        )
+    target, window = _split_at(rest)
+    if dkind == "walk":
+        # A walk target is a bare worker (compute multiplier) or a
+        # <node>.<direction> link (bandwidth walk).
+        node, dot, direction = target.rpartition(".")
+        if not dot or direction not in _DIRECTIONS:
+            node, direction = target, ""
+    else:
+        node, direction = _split_link(target)
+    span_part, sep_x, level_text = window.partition("x")
+    if not sep_x or not level_text:
+        raise ConfigError("expected ...x<level>")
+    span, sep_tilde, period_text = span_part.partition("~")
+    start, end = _parse_window(span, factor=False)
+    period = float(period_text) if sep_tilde else 0.0
+    a_text, sep_level, b_text = level_text.partition("-")
+    level = float(a_text)
+    if dkind == "ramp":
+        if not sep_level:
+            raise ConfigError("ramp drift needs x<from>-<to>")
+        level2 = float(b_text)
+    elif dkind == "walk":
+        level2 = float(b_text) if sep_level else DEFAULT_WALK_CAP
+    else:
+        if sep_level:
+            raise ConfigError(f"{dkind} drift takes a single x<level>")
+        level2 = 0.0
+    return DriftFault(dkind, node, direction, start, end, period, level, level2)
 
 
 def _split_at(body: str) -> Tuple[str, str]:
@@ -721,6 +979,117 @@ def degraded_finish(
             remaining -= capacity
             clock = win_end
     return clock + remaining
+
+
+def _drift_rng(fault: DriftFault, seed: int) -> random.Random:
+    """Per-clause seeded RNG stream for drift sampling.
+
+    Keyed on the plan seed and a CRC of the canonical clause text (never
+    Python ``hash``, which varies with PYTHONHASHSEED), so two clauses
+    in one plan walk independently and the same plan + seed replays the
+    same drift trajectory bit for bit.
+    """
+    key = zlib.crc32(fault.clause().encode("ascii"))
+    return random.Random((seed * _DRIFT_SEED_SALT + key) % 2**61)
+
+
+def sample_drift_windows(
+    fault: DriftFault, seed: int
+) -> Tuple[Tuple[float, float, float], ...]:
+    """Discretise one drift clause into ``(start, end, factor)`` windows.
+
+    Link kinds yield rate factors in (0, 1]; a compute ``walk`` yields
+    multipliers in [1, cap] while a link ``walk`` yields the walk's
+    reciprocal (a rate factor in [1/cap, 1]).  The result is sorted,
+    disjoint, and a pure function of ``(fault, seed)``; adjacent
+    equal-factor steps are coalesced so the link fast path scans as few
+    windows as possible.
+    """
+    span = fault.end - fault.start
+    steps = fault.steps
+    width = span / steps
+    edges = [fault.start + index * width for index in range(steps)]
+    edges.append(fault.end)
+    out: List[Tuple[float, float, float]] = []
+
+    def emit(index: int, factor: float) -> None:
+        lo, hi = edges[index], edges[index + 1]
+        if out and out[-1][2] == factor and out[-1][1] == lo:
+            out[-1] = (out[-1][0], hi, factor)
+        else:
+            out.append((lo, hi, factor))
+
+    if fault.kind == "diurnal":
+        for index in range(steps):
+            mid = fault.start + (index + 0.5) * width
+            phase = 2.0 * math.pi * (mid - fault.start) / fault.period
+            depth = (1.0 - math.cos(phase)) / 2.0
+            emit(index, 1.0 - (1.0 - fault.level) * depth)
+    elif fault.kind == "ramp":
+        for index in range(steps):
+            mid = fault.start + (index + 0.5) * width
+            frac = (mid - fault.start) / span
+            emit(index, fault.level + (fault.level2 - fault.level) * frac)
+    elif fault.kind == "walk":
+        rng = _drift_rng(fault, seed)
+        value = 1.0
+        for index in range(steps):
+            value *= math.exp(rng.gauss(0.0, fault.level))
+            value = min(max(value, 1.0), fault.level2)
+            emit(index, 1.0 / value if fault.direction else value)
+    else:  # background
+        from repro.cluster.arbiter import link_shares
+
+        rng = _drift_rng(fault, seed)
+        for index in range(steps):
+            demand = fault.level * (0.5 + rng.random())
+            share = link_shares([1.0, demand], 1.0, arbitrated=True)[0]
+            emit(index, min(1.0, share))
+    return tuple(out)
+
+
+def compose_windows(
+    a: Sequence[Tuple[float, float, float]],
+    b: Sequence[Tuple[float, float, float]],
+) -> Tuple[Tuple[float, float, float], ...]:
+    """Overlay two factor profiles, multiplying where they overlap.
+
+    Each input is a sorted, disjoint ``(start, end, factor)`` sequence
+    with factor 1 implied outside its windows; the result is again
+    sorted and disjoint, with factor-1 stretches dropped and adjacent
+    equal-factor windows coalesced.  ``0 × f = 0``, so a static blackout
+    stays a blackout whatever the drift curve does — which is what keeps
+    the busy-time accounting identical on both transmit paths.
+    """
+    a = tuple(a)
+    b = tuple(b)
+    if not a:
+        return b
+    if not b:
+        return a
+    edges: List[float] = sorted(
+        {t for lo, hi, _ in a for t in (lo, hi)}
+        | {t for lo, hi, _ in b for t in (lo, hi)}
+    )
+    out: List[Tuple[float, float, float]] = []
+    ia = ib = 0
+    for lo, hi in zip(edges, edges[1:]):
+        while ia < len(a) and a[ia][1] <= lo:
+            ia += 1
+        while ib < len(b) and b[ib][1] <= lo:
+            ib += 1
+        factor = 1.0
+        if ia < len(a) and a[ia][0] <= lo:
+            factor *= a[ia][2]
+        if ib < len(b) and b[ib][0] <= lo:
+            factor *= b[ib][2]
+        if factor == 1.0:
+            continue
+        if out and out[-1][1] == lo and out[-1][2] == factor:
+            out[-1] = (out[-1][0], hi, factor)
+        else:
+            out.append((lo, hi, factor))
+    return tuple(out)
 
 
 def blackout_time(

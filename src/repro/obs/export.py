@@ -214,6 +214,7 @@ def summarize_trace(events: List[Dict[str, Any]], top: int = 5) -> str:
     complete: List[Dict[str, Any]] = []
     instants = 0
     instant_counts: Dict[str, int] = defaultdict(int)
+    tuning_names: Dict[str, str] = {}
     for event in events:
         phase = event.get("ph")
         if phase == "M":
@@ -226,6 +227,8 @@ def summarize_trace(events: List[Dict[str, Any]], top: int = 5) -> str:
         elif phase == "i":
             instants += 1
             instant_counts[event.get("cat", "?")] += 1
+            if event.get("cat", "").startswith("tuning."):
+                tuning_names[event["cat"]] = str(event.get("name", ""))
     if not complete and not instants:
         return "empty trace (no events)"
 
@@ -277,6 +280,22 @@ def summarize_trace(events: List[Dict[str, Any]], top: int = 5) -> str:
             total = sum(event.get("dur", 0.0) for event in spans)
             lines.append(
                 f"{category:<22} {count + len(spans):>7} {total / 1e3:>11.3f}"
+            )
+    tuning_points = {
+        category: count
+        for category, count in instant_counts.items()
+        if category.startswith("tuning.")
+    }
+    if tuning_points:
+        # The drift-control story: knob reconfigures, change-point
+        # alarms, and (when an experiment stamped it) the cumulative
+        # regret against the free-retuning oracle.
+        lines.append("")
+        lines.append(f"{'tuning':<22} {'count':>7}  last")
+        for category in sorted(tuning_points):
+            lines.append(
+                f"{category:<22} {tuning_points[category]:>7}  "
+                f"{tuning_names.get(category, '')}"
             )
     longest = sorted(complete, key=lambda event: event.get("dur", 0.0), reverse=True)
     lines.append("")

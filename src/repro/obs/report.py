@@ -17,8 +17,9 @@ from typing import Any, Dict, List
 
 __all__ = ["RunReport", "build_run_report"]
 
-#: Bump when the report layout changes incompatibly.
-REPORT_SCHEMA = 2
+#: Bump when the report layout changes incompatibly.  History:
+#: 2 -> 3 added the ``tuning`` section (tuner ledger + regret).
+REPORT_SCHEMA = 3
 
 
 @dataclass
@@ -52,6 +53,11 @@ class RunReport:
     #: stale-epoch drops — plus the oracle's per-invariant counters
     #: under ``"invariants"`` when a ChaosOracle is attached.
     integrity: Dict[str, Any] = field(default_factory=dict)
+    #: Tuner accounting (empty when no tuner ran on the job): which
+    #: tuner, reconfigure/change-point counts, the final knobs, the
+    #: profiled-segment timeline, and — when an experiment computed it
+    #: against an oracle — cumulative regret in samples.
+    tuning: Dict[str, Any] = field(default_factory=dict)
     #: Per-link byte/busy totals (PS fabric only).
     links: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Per-iteration samples from the metrics registry, when enabled.
@@ -175,6 +181,11 @@ def build_run_report(job, result) -> RunReport:
             else {}
         ),
         integrity=integrity,
+        tuning=(
+            dict(job.tuning_stats)
+            if getattr(job, "tuning_stats", None)
+            else {}
+        ),
         links=links,
         iterations=iteration_samples,
         metrics=metrics_dump,

@@ -14,6 +14,7 @@ from repro.perf.micro import (
     bench_claim_protocol,
     bench_cluster,
     bench_dear,
+    bench_drift,
     bench_end_to_end,
     bench_event_throughput,
     bench_event_throughput_dense,
@@ -28,6 +29,7 @@ __all__ = [
     "bench_claim_protocol",
     "bench_cluster",
     "bench_dear",
+    "bench_drift",
     "bench_end_to_end",
     "bench_event_throughput",
     "bench_event_throughput_dense",

@@ -23,6 +23,9 @@ their time in:
 * ``claim_protocol`` — the multi-host work-stealing claim board:
   claim/heartbeat/release cycles plus stale-steal checks on a local
   scratch directory (filesystem ops, no simulation).
+* ``drift`` — one adaptive-tuner control loop on a drifting job: the
+  Page-Hinkley updates, probe/exploit segment dispatch, and knob
+  reconfigures the drift experiment pays per control segment.
 
 Keep the workloads deterministic: the *work done per run* must not
 drift between commits or the regression gate compares different jobs.
@@ -43,6 +46,7 @@ __all__ = [
     "bench_scheduler_queue",
     "bench_end_to_end",
     "bench_dear",
+    "bench_drift",
     "bench_claim_protocol",
     "bench_sweep",
     "MICROBENCHMARKS",
@@ -325,6 +329,56 @@ def bench_dear(
     }
 
 
+def bench_drift(segments: int = 16) -> Dict[str, Any]:
+    """Wall-clock of one adaptive control loop under a diurnal drift."""
+    from repro.faults import FaultPlan
+    from repro.models import custom_model
+    from repro.training import ClusterSpec, SchedulerSpec, TrainingJob
+    from repro.tuning import AdaptiveTuner, PageHinkley, SearchSpace
+    from repro.units import MB
+
+    cluster = ClusterSpec(
+        machines=2, gpus_per_machine=2, arch="ps", transport="tcp",
+        bandwidth_gbps=25, seed=0,
+    )
+    model = custom_model(
+        layer_bytes=[8 * MB, 24 * MB, 4 * MB],
+        fp_times=[0.002] * 3,
+        bp_times=[0.004] * 3,
+        batch_size=16,
+    )
+    job = TrainingJob(
+        model,
+        cluster,
+        SchedulerSpec(
+            kind="bytescheduler", partition_bytes=2 * MB, credit_bytes=4 * MB
+        ),
+        fault_plan=FaultPlan.parse("drift:diurnal:s0.both@0-4~5.3x0.3;seed:0"),
+    )
+    tuner = AdaptiveTuner(
+        job,
+        space=SearchSpace(1 * MB, 8 * MB, 2 * MB, 32 * MB),
+        seed=0,
+        segment_iterations=2,
+        restart_penalty=0.0,
+        detector=PageHinkley(delta=0.01, threshold=0.06),
+    )
+    started = time.perf_counter()
+    result = tuner.run(segments=segments, final_iterations=2)
+    elapsed = time.perf_counter() - started
+    return {
+        "name": "drift",
+        "unit": "segments/s",
+        "value": result.num_segments / elapsed,
+        "wall_s": elapsed,
+        "params": {
+            "segments": segments,
+            "profiled": result.num_segments,
+            "change_points": result.change_points,
+        },
+    }
+
+
 def bench_cluster(jobs: int = 120, seed: int = 0) -> Dict[str, Any]:
     """Wall-clock of one fluid cluster-simulator run (trace synthesis +
     admission + rate recomputation on every event)."""
@@ -391,6 +445,7 @@ MICROBENCHMARKS = {
     "scheduler_queue": bench_scheduler_queue,
     "end_to_end": bench_end_to_end,
     "dear": bench_dear,
+    "drift": bench_drift,
     "cluster": bench_cluster,
     "claim_protocol": bench_claim_protocol,
 }

@@ -75,6 +75,10 @@ class TrainingJob:
         #: The :class:`repro.recovery.MembershipManager`, if the fault
         #: plan scheduled any scale events (set by apply_fault_plan).
         self.membership = None
+        #: Accounting dict from the online/adaptive tuner that drove
+        #: this job, if any (set by repro.tuning.record_tuning_stats);
+        #: surfaced in the RunReport's ``tuning`` section.
+        self.tuning_stats = None
         #: Optional :class:`repro.obs.MetricsRegistry`; None keeps every
         #: instrumented hot path at a single attribute check.
         self.metrics = metrics

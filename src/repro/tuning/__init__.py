@@ -1,8 +1,9 @@
 """Auto-tuning of partition and credit sizes (Bayesian Optimization)."""
 
+from repro.tuning.adaptive import AdaptiveTuner, AdaptiveTuningResult, PageHinkley
 from repro.tuning.autotuner import AutoTuner, TuningResult, simulated_objective
 from repro.tuning.gp import GaussianProcess
-from repro.tuning.online import OnlineTuner, OnlineTuningResult
+from repro.tuning.online import OnlineTuner, OnlineTuningResult, record_tuning_stats
 from repro.tuning.searchers import (
     BayesianOptimizer,
     GridSearch,
@@ -23,9 +24,13 @@ __all__ = [
     "RandomSearch",
     "SGDMomentumSearch",
     "make_searcher",
+    "AdaptiveTuner",
+    "AdaptiveTuningResult",
     "AutoTuner",
     "OnlineTuner",
     "OnlineTuningResult",
+    "PageHinkley",
     "TuningResult",
+    "record_tuning_stats",
     "simulated_objective",
 ]

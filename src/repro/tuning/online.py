@@ -20,14 +20,14 @@ reported tuning overhead is honest.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import TuningError
 from repro.training.job import TrainingJob
 from repro.tuning.searchers import Searcher, make_searcher
 from repro.tuning.space import Point, SearchSpace
 
-__all__ = ["OnlineTuner", "OnlineTuningResult"]
+__all__ = ["OnlineTuner", "OnlineTuningResult", "record_tuning_stats"]
 
 #: Checkpoint-restart cost for a PS partition change (§5 reports ~5-9 s;
 #: scaled to the short simulated runs this harness drives).
@@ -48,6 +48,45 @@ MAX_SETTLE_SEGMENTS = 6
 PIPELINE_FLUSH_ITERATIONS = 2
 
 
+def record_tuning_stats(
+    job: TrainingJob,
+    tuner: str,
+    *,
+    reconfigures: int,
+    change_points: int,
+    best_point: Point,
+    restart_overhead: float,
+    timeline: List[Tuple[float, float, Point, float]],
+) -> Dict[str, Any]:
+    """Attach a tuner's accounting to the job for RunReport/trace.
+
+    ``timeline`` is the tuner's profiled-segment ledger
+    ``(t_start, t_end, point, speed)`` in simulated time — the raw
+    material for post-hoc regret accounting against an oracle.
+    """
+    stats: Dict[str, Any] = {
+        "tuner": tuner,
+        "reconfigures": reconfigures,
+        "change_points": change_points,
+        "best_partition_bytes": best_point[0],
+        "best_credit_bytes": best_point[1],
+        "restart_overhead": restart_overhead,
+        "profiled_segments": len(timeline),
+        "timeline": [
+            {
+                "start": start,
+                "end": end,
+                "partition_bytes": point[0],
+                "credit_bytes": point[1],
+                "speed": speed,
+            }
+            for start, end, point, speed in timeline
+        ],
+    }
+    job.tuning_stats = stats
+    return stats
+
+
 @dataclass
 class OnlineTuningResult:
     """Outcome of an online tuning run."""
@@ -60,6 +99,11 @@ class OnlineTuningResult:
     #: Searcher resets triggered by membership-epoch changes: stale
     #: profiles describe a cluster size that no longer exists.
     change_point_resets: int = 0
+    #: Profiled-segment ledger ``(t_start, t_end, point, speed)`` in
+    #: simulated time — regret accounting integrates against this.
+    timeline: List[Tuple[float, float, Point, float]] = field(
+        default_factory=list
+    )
 
     @property
     def num_segments(self) -> int:
@@ -95,6 +139,15 @@ class OnlineTuner:
         self.segment_iterations = segment_iterations
         self.restart_penalty = restart_penalty
         self._needs_restart = job.cluster.arch == "ps"
+        self._reconfigures = 0
+
+    def _reconfigure(self, partition: float, credit: float) -> None:
+        """Apply knobs and leave a breadcrumb in the job's trace."""
+        self.job.reconfigure(partition_bytes=partition, credit_bytes=credit)
+        self._reconfigures += 1
+        self.job.trace.point(
+            "tuning.reconfigure", f"p={partition:g},c={credit:g}"
+        )
 
     def _current_point(self) -> Optional[Point]:
         """The knobs the job is running right now, if readable."""
@@ -137,8 +190,10 @@ class OnlineTuner:
         initial_point = self._current_point()
         last_sample: Optional[Tuple[Point, float]] = None
         pending_anchors: List[Point] = []
+        timeline: List[Tuple[float, float, Point, float]] = []
         for _ in range(segments):
             if epoch_changed:
+                job.trace.point("tuning.change_point", "membership-epoch")
                 # Change-point reset: every profile the searcher holds
                 # was measured on a cluster size that no longer exists,
                 # and old profiles *rank* points wrongly at the new
@@ -185,13 +240,12 @@ class OnlineTuner:
                     ):
                         restart_overhead += self.restart_penalty
                     last_partition = partition
-                    job.reconfigure(
-                        partition_bytes=partition, credit_bytes=credit
-                    )
+                    self._reconfigure(partition, credit)
                     pending_anchors = anchors
                     previous = None
                     for _settle in range(MAX_SETTLE_SEGMENTS):
                         start = job._built_iterations
+                        t0 = job.env.now
                         epoch_changed = self._train_segment(
                             self.segment_iterations
                         )
@@ -199,6 +253,9 @@ class OnlineTuner:
                             break
                         speed = job.segment_speed(
                             start, job._built_iterations
+                        )
+                        timeline.append(
+                            (t0, job.env.now, (partition, credit), speed)
                         )
                         if (
                             previous is not None
@@ -219,17 +276,19 @@ class OnlineTuner:
             ):
                 restart_overhead += self.restart_penalty
             last_partition = partition
-            job.reconfigure(partition_bytes=partition, credit_bytes=credit)
+            self._reconfigure(partition, credit)
             # Flush before profiling so the window measures only the
             # new knobs, not the previous point's in-flight backlog.
             epoch_changed = self._train_segment(PIPELINE_FLUSH_ITERATIONS)
             if epoch_changed:
                 continue
             start = job._built_iterations
+            t0 = job.env.now
             epoch_changed = self._train_segment(self.segment_iterations)
             if job._built_iterations <= start:
                 break  # parked below min_workers: no profile to take
             speed = job.segment_speed(start, job._built_iterations)
+            timeline.append((t0, job.env.now, (partition, credit), speed))
             last_sample = ((partition, credit), speed)
             if epoch_changed:
                 continue  # segment straddles a scale event: skip it
@@ -243,15 +302,24 @@ class OnlineTuner:
             # Every segment straddled a scale event; keep the freshest.
             self.searcher.observe(*last_sample)
         best_point, best_speed = self.searcher.best()
-        job.reconfigure(
-            partition_bytes=best_point[0], credit_bytes=best_point[1]
-        )
+        self._reconfigure(best_point[0], best_point[1])
         self._train_segment(PIPELINE_FLUSH_ITERATIONS)
         start = job._built_iterations
+        t0 = job.env.now
         self._train_segment(final_iterations)
         if job._built_iterations <= start:
             raise TuningError("job parked before the final measurement")
         final_speed = job.segment_speed(start, job._built_iterations)
+        timeline.append((t0, job.env.now, best_point, final_speed))
+        record_tuning_stats(
+            job,
+            "online",
+            reconfigures=self._reconfigures,
+            change_points=change_point_resets,
+            best_point=best_point,
+            restart_overhead=restart_overhead,
+            timeline=timeline,
+        )
         return OnlineTuningResult(
             best_point=best_point,
             best_speed=best_speed,
@@ -259,4 +327,5 @@ class OnlineTuner:
             segments=list(self.searcher.history),
             restart_overhead=restart_overhead,
             change_point_resets=change_point_resets,
+            timeline=timeline,
         )

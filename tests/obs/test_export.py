@@ -144,6 +144,31 @@ def test_summarize_trace_counts_instant_events_per_category():
     assert lines["drop"] == "1"
 
 
+def test_summarize_trace_tells_the_tuning_story():
+    """Tuner activity rides on ``tuning.*`` instants; the summary must
+    tally them and surface the *latest* name — for ``tuning.regret``
+    that is the cumulative figure the drift experiment stamped last."""
+    env = Environment()
+    trace = Trace(env)
+    trace.span("link", "n0.up", 0.0, 1.0)
+    trace.point("tuning.reconfigure", "p=1e+06,c=4e+06")
+    trace.point("tuning.reconfigure", "p=2e+06,c=4e+06")
+    trace.point("tuning.change_point", "page-hinkley")
+    trace.point("tuning.regret", "cum=1200 samples")
+    trace.point("tuning.regret", "cum=15517 samples")
+    text = summarize_trace(chrome_trace(trace)["traceEvents"])
+    assert "tuning" in text
+    rows = {
+        line.split()[0]: line
+        for line in text.splitlines()
+        if line.startswith("tuning.")
+    }
+    assert "2" in rows["tuning.reconfigure"]
+    assert rows["tuning.reconfigure"].endswith("p=2e+06,c=4e+06")
+    assert rows["tuning.change_point"].endswith("page-hinkley")
+    assert rows["tuning.regret"].endswith("cum=15517 samples")
+
+
 def test_job_chrome_trace_includes_compute_tracks():
     cluster = ClusterSpec(machines=2, gpus_per_machine=1)
     job = TrainingJob(

@@ -94,10 +94,35 @@ def test_report_round_trips_through_json(tmp_path):
     path = tmp_path / "report.json"
     result.report.write(str(path))
     data = json.loads(path.read_text())
-    assert data["schema"] == 2
+    assert data["schema"] == 3
     assert data["speed"] == pytest.approx(result.speed)
     assert data["iterations"] == result.report.iterations
     assert "scheduler_stats" in data and "links" in data
+    # No tuner ran on this job: the section is present but empty.
+    assert data["tuning"] == {}
+
+
+def test_report_reads_schema_2_documents():
+    """A schema-2 report (pre-``tuning``) still loads: the new field
+    defaults to empty rather than being required."""
+    legacy = {
+        "label": "legacy",
+        "model": "resnet50",
+        "cluster": "2x2",
+        "scheduler": "bytescheduler",
+        "speed": 100.0,
+        "sample_unit": "samples",
+        "iteration_time": 0.1,
+        "iteration_time_stdev": 0.0,
+        "samples_per_iteration": 64.0,
+        "warmup": 1,
+        "measured": 3,
+        "schema": 2,
+    }
+    report = RunReport(**legacy)
+    assert report.tuning == {}
+    assert report.schema == 2
+    assert json.loads(report.to_json())["label"] == "legacy"
 
 
 def test_report_without_metrics_registry():

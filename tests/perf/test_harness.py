@@ -99,7 +99,8 @@ def test_format_results_lists_each_benchmark():
 def test_microbenchmarks_registry_names():
     assert set(MICROBENCHMARKS) == {
         "event_throughput", "event_throughput_dense", "link_burst",
-        "scheduler_queue", "end_to_end", "dear", "cluster", "claim_protocol",
+        "scheduler_queue", "end_to_end", "dear", "drift", "cluster",
+        "claim_protocol",
     }
 
 
@@ -124,6 +125,15 @@ def test_cluster_bench_runs():
     assert result["value"] > 0
     assert result["params"]["jobs"] == 20
     assert 0.0 < result["params"]["fairness"] <= 1.0
+
+
+def test_drift_bench_runs():
+    from repro.perf import bench_drift
+
+    result = bench_drift(segments=4)
+    assert result["unit"] == "segments/s"
+    assert result["value"] > 0
+    assert result["params"]["profiled"] >= 4
 
 
 def test_committed_baseline_is_loadable():
